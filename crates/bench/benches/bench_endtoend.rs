@@ -1,0 +1,32 @@
+//! Criterion macrobench: the four proposed configurators end to end on the
+//! small synthetic market (paper-shape data at unit-test scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use revmax_bench::args::Scale;
+use revmax_bench::data;
+use revmax_core::prelude::*;
+
+fn bench_endtoend(c: &mut Criterion) {
+    let market = data::market(Scale::Small, 2015, Params::default());
+    let mut g = c.benchmark_group("endtoend_small");
+    g.sample_size(10);
+    g.bench_function("components", |b| {
+        b.iter(|| Components::optimal().run(std::hint::black_box(&market)))
+    });
+    g.bench_function("pure_matching", |b| {
+        b.iter(|| PureMatching::default().run(std::hint::black_box(&market)))
+    });
+    g.bench_function("pure_greedy", |b| {
+        b.iter(|| PureGreedy::default().run(std::hint::black_box(&market)))
+    });
+    g.bench_function("mixed_matching", |b| {
+        b.iter(|| MixedMatching::default().run(std::hint::black_box(&market)))
+    });
+    g.bench_function("mixed_greedy", |b| {
+        b.iter(|| MixedGreedy::default().run(std::hint::black_box(&market)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

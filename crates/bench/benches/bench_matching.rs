@@ -1,0 +1,42 @@
+//! Criterion microbench: the blossom maximum-weight matching engine across
+//! graph sizes/densities (the per-iteration substrate of Algorithm 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revmax_matching::max_weight_matching;
+
+fn random_graph(n: usize, avg_degree: usize, seed: u64) -> Vec<(usize, usize, i64)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let m = n * avg_degree / 2;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = (next() as usize) % n;
+        let v = (next() as usize) % n;
+        if u != v {
+            edges.push((u, v, (next() % 1000) as i64));
+        }
+    }
+    edges
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blossom");
+    g.sample_size(20);
+    for (n, deg) in [(50usize, 8usize), (100, 8), (200, 8), (200, 32)] {
+        let edges = random_graph(n, deg, 42);
+        g.bench_with_input(
+            BenchmarkId::new("max_weight_matching", format!("V{n}_deg{deg}")),
+            &edges,
+            |b, e| {
+                b.iter(|| max_weight_matching(n, std::hint::black_box(e)));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

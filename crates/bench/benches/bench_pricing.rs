@@ -1,0 +1,57 @@
+//! Criterion microbench: single-bundle price optimization (§4.2) across
+//! consumer counts and search modes. The paper claims O(M) pricing; the
+//! `M`-scaling here substantiates it for the grid mode (the exact mode pays
+//! an O(M log M) sort).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revmax_core::adoption::AdoptionModel;
+use revmax_core::pricing::{optimize, PriceMode, PricingCtx};
+
+fn synth_values(m: usize) -> Vec<f64> {
+    // Five-level WTP mimicking the ratings-derived distribution.
+    (0..m)
+        .map(|k| {
+            let level = match k % 100 {
+                0..=2 => 0.25,
+                3..=7 => 0.5,
+                8..=20 => 0.75,
+                21..=50 => 1.0,
+                _ => 1.25,
+            };
+            level * (5.0 + (k % 17) as f64)
+        })
+        .collect()
+}
+
+fn ctx(mode: PriceMode, gamma: f64) -> PricingCtx {
+    PricingCtx {
+        adoption: AdoptionModel { gamma, alpha: 1.0, epsilon: 1e-6 },
+        mode,
+        levels: 100,
+        objective_alpha: 1.0,
+        unit_cost: 0.0,
+    }
+}
+
+fn bench_pricing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pricing");
+    for m in [100usize, 1_000, 10_000] {
+        let values = synth_values(m);
+        g.bench_with_input(BenchmarkId::new("exact_step", m), &values, |b, v| {
+            let cx = ctx(PriceMode::Exact, 1e6);
+            b.iter(|| optimize(std::hint::black_box(v), &cx));
+        });
+        g.bench_with_input(BenchmarkId::new("grid_step", m), &values, |b, v| {
+            let cx = ctx(PriceMode::Grid, 1e6);
+            b.iter(|| optimize(std::hint::black_box(v), &cx));
+        });
+        g.bench_with_input(BenchmarkId::new("grid_sigmoid", m), &values, |b, v| {
+            let cx = ctx(PriceMode::Grid, 1.0);
+            b.iter(|| optimize(std::hint::black_box(v), &cx));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pricing);
+criterion_main!(benches);

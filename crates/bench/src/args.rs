@@ -1,0 +1,122 @@
+//! Minimal flag parser for the experiment binaries (no external deps).
+//!
+//! Recognized flags, shared across all binaries:
+//!
+//! * `--scale small|medium|paper` — dataset size (per-binary default);
+//! * `--seed <u64>` — generator seed (default 2015, the venue year);
+//! * `--runs <usize>` — repetitions for stochastic experiments (default 10);
+//! * `--full` — run the expensive variants (e.g. N = 25 in Tables 4–5);
+//! * `--out <dir>` — results directory (default `results`).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    pub scale: Scale,
+    pub seed: u64,
+    pub runs: usize,
+    pub full: bool,
+    pub out_dir: std::path::PathBuf,
+}
+
+/// Dataset scale presets (see `revmax_dataset::AmazonBooksConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Small,
+    Medium,
+    Paper,
+}
+
+impl Scale {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parse `std::env::args`, with a per-binary default scale.
+    pub fn parse(default_scale: Scale) -> Self {
+        Self::from_iter(std::env::args().skip(1), default_scale)
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn from_iter(args: impl IntoIterator<Item = String>, default_scale: Scale) -> Self {
+        let mut flags: HashMap<String, String> = HashMap::new();
+        let mut full = false;
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => full = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale small|medium|paper  --seed <u64>  --runs <n>  --full  --out <dir>"
+                    );
+                    std::process::exit(0);
+                }
+                key if key.starts_with("--") => {
+                    let val = it.next().unwrap_or_else(|| {
+                        panic!("flag {key} requires a value");
+                    });
+                    flags.insert(key.trim_start_matches("--").to_string(), val);
+                }
+                other => panic!("unrecognized argument '{other}'"),
+            }
+        }
+        let scale = match flags.get("scale").map(String::as_str) {
+            None => default_scale,
+            Some("small") => Scale::Small,
+            Some("medium") => Scale::Medium,
+            Some("paper") => Scale::Paper,
+            Some(other) => panic!("unknown scale '{other}' (small|medium|paper)"),
+        };
+        BenchArgs {
+            scale,
+            seed: flags.get("seed").map_or(2015, |s| s.parse().expect("--seed must be a u64")),
+            runs: flags.get("runs").map_or(10, |s| s.parse().expect("--runs must be a usize")),
+            full,
+            out_dir: flags.get("out").map_or_else(|| "results".into(), |s| s.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let a = BenchArgs::from_iter(sv(&[]), Scale::Medium);
+        assert_eq!(a.scale, Scale::Medium);
+        assert_eq!(a.seed, 2015);
+        assert_eq!(a.runs, 10);
+        assert!(!a.full);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = BenchArgs::from_iter(
+            sv(&["--scale", "paper", "--seed", "7", "--runs", "3", "--full", "--out", "/tmp/x"]),
+            Scale::Small,
+        );
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.runs, 3);
+        assert!(a.full);
+        assert_eq!(a.out_dir, std::path::PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scale")]
+    fn rejects_bad_scale() {
+        BenchArgs::from_iter(sv(&["--scale", "galactic"]), Scale::Small);
+    }
+}

@@ -1,0 +1,48 @@
+//! **Ablation** — number of price levels T (§4.2 design choice).
+//!
+//! The paper fixes T = 100 "as we find that larger numbers do not result in
+//! much higher revenue". This bench quantifies that: Components and Pure
+//! Matching revenue under the grid discretization at
+//! T ∈ {10, 25, 50, 100, 200, 400}, against the exact (T → ∞) optimum.
+
+use revmax_bench::args::{BenchArgs, Scale};
+use revmax_bench::data;
+use revmax_bench::report::{pct2, Table};
+use revmax_core::prelude::*;
+
+fn main() {
+    let args = BenchArgs::parse(Scale::Medium);
+    let dataset = data::dataset(args.scale, args.seed);
+
+    let mut t = Table::new(
+        format!("Ablation — price levels T ({} scale)", args.scale.name()),
+        &["T", "Components coverage", "Pure Matching coverage", "vs exact (Components)"],
+    );
+    let exact_market = data::market_from(&dataset, Params::default());
+    let exact_cov = Components::optimal().run(&exact_market).coverage;
+
+    for levels in [10usize, 25, 50, 100, 200, 400] {
+        let market =
+            data::market_from(&dataset, Params::default().with_price_levels(levels))
+                .with_grid_pricing();
+        let c = Components::optimal().run(&market);
+        let pm = PureMatching::default().run(&market);
+        t.row(vec![
+            levels.to_string(),
+            pct2(c.coverage),
+            pct2(pm.coverage),
+            format!("{:+.2}pp", (c.coverage - exact_cov) * 100.0),
+        ]);
+        eprintln!("T = {levels} done");
+    }
+    t.row(vec![
+        "exact".into(),
+        pct2(exact_cov),
+        pct2(PureMatching::default().run(&exact_market).coverage),
+        "+0.00pp".into(),
+    ]);
+    t.print();
+    if let Ok(p) = t.save_csv(&args.out_dir, "ablation_price_levels") {
+        println!("saved {}", p.display());
+    }
+}

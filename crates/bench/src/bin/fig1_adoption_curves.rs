@@ -1,0 +1,65 @@
+//! **Figure 1** — the stochastic adoption model: probability of adoption vs
+//! price for a consumer with WTP = 10, (a) γ ∈ {0.1, 1, 10} and
+//! (b) α ∈ {0.75, 1, 1.25}.
+
+use revmax_bench::args::{BenchArgs, Scale};
+use revmax_bench::report::Table;
+use revmax_core::adoption::AdoptionModel;
+
+fn main() {
+    let args = BenchArgs::parse(Scale::Small);
+    let wtp = 10.0;
+    let prices: Vec<f64> = (0..=40).map(|k| k as f64 * 0.5).collect();
+
+    let mut a = Table::new(
+        "Figure 1(a) — sensitivity to price (alpha = 1)",
+        &["price", "gamma=0.1", "gamma=1", "gamma=10"],
+    );
+    for &p in &prices {
+        let row: Vec<String> = [0.1, 1.0, 10.0]
+            .iter()
+            .map(|&g| {
+                let m = AdoptionModel { gamma: g, alpha: 1.0, epsilon: 0.0 };
+                format!("{:.4}", m.probability(wtp, p))
+            })
+            .collect();
+        a.row(vec![format!("{p:.1}"), row[0].clone(), row[1].clone(), row[2].clone()]);
+    }
+
+    let mut b = Table::new(
+        "Figure 1(b) — bias for adoption (gamma = 1)",
+        &["price", "alpha=0.75", "alpha=1", "alpha=1.25"],
+    );
+    for &p in &prices {
+        let row: Vec<String> = [0.75, 1.0, 1.25]
+            .iter()
+            .map(|&al| {
+                let m = AdoptionModel { gamma: 1.0, alpha: al, epsilon: 0.0 };
+                format!("{:.4}", m.probability(wtp, p))
+            })
+            .collect();
+        b.row(vec![format!("{p:.1}"), row[0].clone(), row[1].clone(), row[2].clone()]);
+    }
+
+    // Spot-check the figure's anchor point: P = 0.5 at p = w for the
+    // original sigmoid.
+    let orig = AdoptionModel { gamma: 1.0, alpha: 1.0, epsilon: 0.0 };
+    assert!((orig.probability(10.0, 10.0) - 0.5).abs() < 1e-12);
+
+    // Print a compact view (every 4th point) and save the full series.
+    let compact = |t: &Table| {
+        let full = t.render();
+        for (k, line) in full.lines().enumerate() {
+            if k < 3 || (k - 3) % 4 == 0 {
+                println!("{line}");
+            }
+        }
+    };
+    compact(&a);
+    compact(&b);
+    for (t, name) in [(&a, "fig1a_gamma_curves"), (&b, "fig1b_alpha_curves")] {
+        if let Ok(p) = t.save_csv(&args.out_dir, name) {
+            println!("saved {}", p.display());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! **Figure 2** — revenue coverage and gain vs the bundling coefficient
+//! θ ∈ [−0.10, +0.10] for all seven methods.
+//!
+//! Expected shape (paper §6.2): Components flat; mixed methods on top
+//! everywhere; pure methods degenerate into Components as θ → −; pure
+//! methods climb steepest for θ ≫ 0; FreqItemset baselines hug Components.
+
+use revmax_bench::args::{BenchArgs, Scale};
+use revmax_bench::report::{pct2, Table};
+use revmax_bench::{all_methods, data};
+use revmax_core::prelude::*;
+
+fn main() {
+    let args = BenchArgs::parse(Scale::Medium);
+    let dataset = data::dataset(args.scale, args.seed);
+    let thetas = [-0.10, -0.05, -0.02, 0.0, 0.02, 0.05, 0.10];
+
+    let names: Vec<&'static str> = all_methods().iter().map(|m| m.name()).collect();
+    let mut cov = Table::new(
+        format!("Figure 2 — revenue coverage vs theta ({} scale)", args.scale.name()),
+        &std::iter::once("theta")
+            .chain(names.iter().copied())
+            .collect::<Vec<_>>(),
+    );
+    let mut gain = Table::new(
+        "Figure 2 — revenue gain vs theta".to_string(),
+        &std::iter::once("theta")
+            .chain(names.iter().copied().filter(|n| *n != "Components"))
+            .collect::<Vec<_>>(),
+    );
+
+    for theta in thetas {
+        let market = data::market_from(&dataset, Params::default().with_theta(theta));
+        let mut cov_row = vec![format!("{theta:+.2}")];
+        let mut gain_row = vec![format!("{theta:+.2}")];
+        for method in all_methods() {
+            let out = method.run(&market);
+            cov_row.push(pct2(out.coverage));
+            if out.algorithm != "Components" {
+                gain_row.push(pct2(out.gain));
+            }
+        }
+        cov.row(cov_row);
+        gain.row(gain_row);
+        eprintln!("theta {theta:+.2} done");
+    }
+    cov.print();
+    println!();
+    gain.print();
+    for (t, name) in [(&cov, "fig2_theta_coverage"), (&gain, "fig2_theta_gain")] {
+        if let Ok(p) = t.save_csv(&args.out_dir, name) {
+            println!("saved {}", p.display());
+        }
+    }
+}

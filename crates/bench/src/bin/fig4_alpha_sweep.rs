@@ -1,0 +1,72 @@
+//! **Figure 4** — revenue coverage and gain vs the adoption bias α.
+//!
+//! Expected shape: coverage increases (approximately linearly — α scales
+//! the price every consumer tolerates) while gain decreases slightly, with
+//! the same method ordering as Figure 3.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revmax_bench::args::{BenchArgs, Scale};
+use revmax_bench::report::{pct2, Table};
+use revmax_bench::{all_methods, data, runstats};
+use revmax_core::prelude::*;
+
+fn main() {
+    let args = BenchArgs::parse(Scale::Medium);
+    let dataset = data::dataset(args.scale, args.seed);
+    let alphas = [0.75, 0.9, 1.0, 1.1, 1.25];
+
+    let names: Vec<&'static str> = all_methods().iter().map(|m| m.name()).collect();
+    let mut cov = Table::new(
+        format!(
+            "Figure 4(a) — revenue coverage vs alpha ({} scale, {} runs)",
+            args.scale.name(),
+            args.runs
+        ),
+        &std::iter::once("alpha").chain(names.iter().copied()).collect::<Vec<_>>(),
+    );
+    let mut gain = Table::new(
+        "Figure 4(b) — revenue gain vs alpha".to_string(),
+        &std::iter::once("alpha")
+            .chain(names.iter().copied().filter(|n| *n != "Components"))
+            .collect::<Vec<_>>(),
+    );
+
+    for alpha in alphas {
+        let market = data::market_from(&dataset, Params::default().with_adoption_bias(alpha));
+        let mut cov_row = vec![format!("{alpha}")];
+        let mut gain_row = vec![format!("{alpha}")];
+        let mut components_rev = 0.0;
+        for method in all_methods() {
+            let out = method.run(&market);
+            let revenues: Vec<f64> = (0..args.runs)
+                .map(|r| {
+                    let mut rng = StdRng::seed_from_u64(args.seed ^ (r as u64) << 32);
+                    out.config.sampled_revenue(&market, &mut rng, 1)
+                })
+                .collect();
+            let stats = runstats::summarize(&revenues);
+            if out.algorithm == "Components" {
+                components_rev = stats.mean;
+            }
+            cov_row.push(pct2(stats.mean / market.total_wtp()));
+            if out.algorithm != "Components" {
+                gain_row.push(pct2(revmax_core::metrics::revenue_gain(
+                    stats.mean.max(0.0),
+                    components_rev,
+                )));
+            }
+        }
+        cov.row(cov_row);
+        gain.row(gain_row);
+        eprintln!("alpha {alpha} done");
+    }
+    cov.print();
+    println!();
+    gain.print();
+    for (t, name) in [(&cov, "fig4_alpha_coverage"), (&gain, "fig4_alpha_gain")] {
+        if let Ok(p) = t.save_csv(&args.out_dir, name) {
+            println!("saved {}", p.display());
+        }
+    }
+}

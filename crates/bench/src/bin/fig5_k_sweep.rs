@@ -1,0 +1,61 @@
+//! **Figure 5** — revenue coverage/gain vs the maximum bundle size k.
+//!
+//! Expected shape: k = 1 equals Components; k = 2 already gains; k ≥ 3
+//! keeps growing at a decreasing rate — the paper's argument for why
+//! heuristics for the NP-hard k ≥ 3 regime matter at all.
+
+use revmax_bench::args::{BenchArgs, Scale};
+use revmax_bench::report::{pct2, Table};
+use revmax_bench::{data, proposed_methods};
+use revmax_core::prelude::*;
+
+fn main() {
+    let args = BenchArgs::parse(Scale::Medium);
+    let dataset = data::dataset(args.scale, args.seed);
+    let caps: Vec<(String, SizeCap)> = [1usize, 2, 3, 4, 5, 6, 8]
+        .into_iter()
+        .map(|k| (k.to_string(), SizeCap::AtMost(k)))
+        .chain(std::iter::once(("unlimited".to_string(), SizeCap::Unlimited)))
+        .collect();
+
+    let names: Vec<&'static str> = proposed_methods().iter().map(|m| m.name()).collect();
+    let mut cov = Table::new(
+        format!("Figure 5 — revenue coverage vs max bundle size k ({} scale)", args.scale.name()),
+        &std::iter::once("k")
+            .chain(std::iter::once("Components"))
+            .chain(names.iter().copied())
+            .collect::<Vec<_>>(),
+    );
+    let mut gain = Table::new(
+        "Figure 5 — revenue gain vs max bundle size k".to_string(),
+        &std::iter::once("k").chain(names.iter().copied()).collect::<Vec<_>>(),
+    );
+
+    for (label, cap) in caps {
+        let market = data::market_from(&dataset, Params::default().with_size_cap(cap));
+        let components = Components::optimal().run(&market);
+        let mut cov_row = vec![label.clone(), pct2(components.coverage)];
+        let mut gain_row = vec![label.clone()];
+        for method in proposed_methods() {
+            let out = method.run(&market);
+            assert!(
+                cap.limit().is_none_or(|k| out.config.max_bundle_size() <= k),
+                "{} violated size cap {label}",
+                out.algorithm
+            );
+            cov_row.push(pct2(out.coverage));
+            gain_row.push(pct2(out.gain));
+        }
+        cov.row(cov_row);
+        gain.row(gain_row);
+        eprintln!("k = {label} done");
+    }
+    cov.print();
+    println!();
+    gain.print();
+    for (t, name) in [(&cov, "fig5_k_coverage"), (&gain, "fig5_k_gain")] {
+        if let Ok(p) = t.save_csv(&args.out_dir, name) {
+            println!("saved {}", p.display());
+        }
+    }
+}

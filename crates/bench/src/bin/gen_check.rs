@@ -1,0 +1,48 @@
+//! Smoke check: generate the paper-scale dataset, run every algorithm once,
+//! print coverage/gain/timing. Not one of the paper's artifacts — a
+//! development aid kept for quick sanity runs.
+
+use revmax_core::prelude::*;
+use revmax_dataset::AmazonBooksConfig;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let data = AmazonBooksConfig::paper().generate(2015);
+    println!("generated in {:?}", t0.elapsed());
+    println!("{}", data.summary());
+
+    let params = Params::default();
+    let wtp = WtpMatrix::from_ratings(
+        data.n_users(),
+        data.n_items(),
+        data.ratings().iter().map(|r| (r.user, r.item, r.stars)),
+        data.prices(),
+        params.lambda,
+    );
+    let market = Market::new(wtp, params);
+    println!("total WTP: {:.0}", market.total_wtp());
+
+    let algos: Vec<Box<dyn Configurator>> = vec![
+        Box::new(Components::optimal()),
+        Box::new(PureMatching::default()),
+        Box::new(PureGreedy::default()),
+        Box::new(MixedMatching::default()),
+        Box::new(MixedGreedy::default()),
+        Box::new(PureFreqItemset::default()),
+        Box::new(MixedFreqItemset::default()),
+    ];
+    for a in algos {
+        let t = Instant::now();
+        let out = a.run(&market);
+        println!(
+            "{:<22} coverage {:>6.2}%  gain {:>6.2}%  bundles {:>5}  iters {:>5}  time {:?}",
+            out.algorithm,
+            out.coverage * 100.0,
+            out.gain * 100.0,
+            out.config.n_bundles(),
+            out.trace.iterations(),
+            t.elapsed()
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! **repro_all** — run every experiment binary with its defaults, capture
+//! stdout under `results/`, and print Table 3 (the default parameters).
+//!
+//! Sibling binaries are located next to this executable (same cargo target
+//! directory), so run via `cargo run --release -p revmax-bench --bin
+//! repro_all` after `cargo build --release`.
+
+use revmax_core::prelude::*;
+use std::io::Write;
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "table1_example",
+    "table2_lambda",
+    "fig1_adoption_curves",
+    "fig2_theta_sweep",
+    "fig3_gamma_sweep",
+    "fig4_alpha_sweep",
+    "fig5_k_sweep",
+    "fig6_revenue_vs_time",
+    "fig7_scalability",
+    "table45_wsp",
+    "table6_case_study",
+    "ablation_price_levels",
+    "ablation_pruning",
+    "ablation_greedy_stop",
+    "ablation_objective",
+];
+
+fn print_table3() {
+    let p = Params::default();
+    println!("== Table 3 — default parameter settings ==");
+    println!("lambda (conversion factor)        = {}", p.lambda);
+    println!("theta  (bundling coefficient)     = {}", p.theta);
+    println!("k      (max bundle size)          = {:?}", p.size_cap);
+    println!("gamma  (price sensitivity)        = {:e}  (step function)", p.gamma);
+    println!("alpha  (adoption bias)            = {}  (unbiased)", p.adoption_bias);
+    println!("epsilon                           = {:e}", p.epsilon);
+    println!("T      (price levels)             = {}", p.price_levels);
+    println!();
+}
+
+fn main() {
+    print_table3();
+    let exe = std::env::current_exe().expect("current_exe");
+    let dir = exe.parent().expect("target dir").to_path_buf();
+    let extra: Vec<String> = std::env::args().skip(1).collect();
+    std::fs::create_dir_all("results").expect("results dir");
+
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        let path = dir.join(bin);
+        if !path.exists() {
+            eprintln!("skipping {bin}: binary not built (run `cargo build --release` first)");
+            failures.push(*bin);
+            continue;
+        }
+        println!(">>> {bin} {}", extra.join(" "));
+        let t0 = std::time::Instant::now();
+        let output = Command::new(&path).args(&extra).output().expect("spawn");
+        let log = std::path::Path::new("results").join(format!("{bin}.txt"));
+        let mut f = std::fs::File::create(&log).expect("log file");
+        f.write_all(&output.stdout).unwrap();
+        f.write_all(&output.stderr).unwrap();
+        print!("{}", String::from_utf8_lossy(&output.stdout));
+        if !output.status.success() {
+            eprintln!("!!! {bin} FAILED: {}", String::from_utf8_lossy(&output.stderr));
+            failures.push(*bin);
+        }
+        println!("<<< {bin} finished in {:?}\n", t0.elapsed());
+    }
+    if failures.is_empty() {
+        println!("all {} experiments completed; outputs in results/", BINARIES.len());
+    } else {
+        println!("completed with failures: {failures:?}");
+        std::process::exit(1);
+    }
+}

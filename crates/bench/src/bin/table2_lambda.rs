@@ -1,0 +1,36 @@
+//! **Table 2** — revenue coverage of the `Components` baseline at
+//! λ ∈ {1.00, 1.25, 1.50, 1.75, 2.00}, optimal pricing vs Amazon's (listed)
+//! pricing. The paper reports optimal pricing flat at 77.7% and listed
+//! pricing peaking at 75.1% for λ = 1.25.
+
+use revmax_bench::args::{BenchArgs, Scale};
+use revmax_bench::report::{pct, Table};
+use revmax_bench::data;
+use revmax_core::prelude::*;
+
+fn main() {
+    let args = BenchArgs::parse(Scale::Paper);
+    let dataset = data::dataset(args.scale, args.seed);
+    let mut t = Table::new(
+        format!("Table 2 — revenue coverage at different lambdas ({} scale)", args.scale.name()),
+        &["lambda", "optimal pricing", "paper", "Amazon's pricing", "paper"],
+    );
+    let paper_opt = ["77.7%", "77.7%", "77.7%", "77.7%", "77.7%"];
+    let paper_listed = ["59.0%", "75.1%", "62.6%", "62.8%", "54.9%"];
+    for (k, lambda) in [1.0, 1.25, 1.5, 1.75, 2.0].into_iter().enumerate() {
+        let market = data::market_from(&dataset, Params::default().with_lambda(lambda));
+        let optimal = Components::optimal().run(&market);
+        let listed = Components::listed().run(&market);
+        t.row(vec![
+            format!("{lambda:.2}"),
+            pct(optimal.coverage),
+            paper_opt[k].into(),
+            pct(listed.coverage),
+            paper_listed[k].into(),
+        ]);
+    }
+    t.print();
+    if let Ok(p) = t.save_csv(&args.out_dir, "table2_lambda") {
+        println!("saved {}", p.display());
+    }
+}

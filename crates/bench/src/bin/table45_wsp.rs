@@ -1,0 +1,171 @@
+//! **Tables 4 & 5** — comparison to weighted set packing on small random
+//! item samples (all users retained): revenue coverage and running time of
+//! Pure Matching / Pure Greedy vs `Optimal` (exact packing over all
+//! 2^N − 1 bundles) and `Greedy WSP` (√N approximation).
+//!
+//! Protocol (paper §6.4): N ∈ {10, 15, 20, 25} random items out of the full
+//! catalogue, all users kept; only samples where a bundle of size ≥ 3 forms
+//! are retained; results averaged over `--runs` accepted samples. The paper
+//! cannot compute `Optimal` at N = 25 (33M ILP variables) and neither do we
+//! (the subset DP would take ~3^25 steps) — reported as "—", exactly like
+//! the paper. N = 25 requires `--full` (enumerating 2^25 bundle revenues).
+//!
+//! All four methods run on the *same* grid-discretized pricing (T = 100,
+//! the paper's §4.2 scheme) so the comparison is apples-to-apples.
+
+use revmax_bench::args::{BenchArgs, Scale};
+use revmax_bench::report::{pct, secs, Table};
+use revmax_bench::{data, runstats};
+use revmax_core::prelude::*;
+use revmax_core::wsp;
+use revmax_dataset::scale as dscale;
+use std::time::{Duration, Instant};
+
+struct SampleResult {
+    coverage: [f64; 4], // PureMatching, PureGreedy, Optimal, GreedyWSP
+    time: [Duration; 4],
+    enumeration: Duration,
+    max_bundle: usize,
+}
+
+fn main() {
+    let args = BenchArgs::parse(Scale::Paper);
+    let base = data::dataset(args.scale, args.seed);
+    let sizes: Vec<usize> = if args.full { vec![10, 15, 20, 25] } else { vec![10, 15, 20] };
+    const OPTIMAL_MAX_N: usize = 22;
+
+    let mut cov_table = Table::new(
+        "Table 4 — comparison to weighted set packing: revenue coverage (mean over samples)",
+        &["N", "Pure Matching", "Pure Greedy", "Optimal", "Greedy WSP", "paper (PM/PG/Opt/GW)"],
+    );
+    let mut time_table = Table::new(
+        "Table 5 — comparison to weighted set packing: running time, seconds (mean)",
+        &["N", "Pure Matching", "Pure Greedy", "Optimal", "Greedy WSP", "enumeration"],
+    );
+    let paper_cov = [
+        "78.1 / 78.1 / 78.1 / 68.1",
+        "77.8 / 77.8 / 77.8 / 65.2",
+        "77.9 / 77.9 / 77.9 / 64.9",
+        "77.2 / 77.2 /  -   / 64.3",
+    ];
+
+    for (si, &n) in sizes.iter().enumerate() {
+        // Acceptance rule: prefer the paper's "a bundle of size ≥ 3
+        // formed"; fall back to ≥ 2, then to any sample. On the synthetic
+        // data per-item stars are independent across users, so profitable
+        // high-order merges are much rarer than on the real Amazon crawl —
+        // the fallback keeps the Optimal/heuristic/GreedyWSP comparison
+        // meaningful and the acceptance level is reported per row.
+        // Phase 1 (cheap): run only Pure Matching per attempt and rank the
+        // seeds by the largest bundle formed; the paper's filter keeps
+        // size ≥ 3. Phase 2 (expensive): the full WSP pipeline runs on the
+        // best `--runs` seeds only.
+        let mut ranked: Vec<(u64, usize)> = Vec::new(); // (sample seed, max bundle)
+        let mut attempt = 0u64;
+        while attempt < args.runs as u64 * 15 {
+            attempt += 1;
+            let sample_seed = args.seed.wrapping_add(attempt * 7919);
+            // Correlated (co-rating neighbourhood) sampling: uniformly
+            // random item tuples almost never co-rate on synthetic data.
+            let sample = dscale::sample_items_correlated(&base, n, sample_seed);
+            let market = data::market_from(&sample, Params::default()).with_grid_pricing();
+            let pm = PureMatching::default().run(&market);
+            ranked.push((sample_seed, pm.config.max_bundle_size()));
+            if ranked.iter().filter(|(_, mb)| *mb >= 3).count() >= args.runs {
+                break; // enough paper-grade samples
+            }
+        }
+        ranked.sort_by_key(|&(_, mb)| std::cmp::Reverse(mb));
+        ranked.truncate(args.runs);
+
+        let mut accepted: Vec<SampleResult> = Vec::new();
+        for &(sample_seed, _) in &ranked {
+            let sample = dscale::sample_items_correlated(&base, n, sample_seed);
+            // Grid pricing for WSP-consistency (see module docs).
+            let market = data::market_from(&sample, Params::default()).with_grid_pricing();
+
+            let t0 = Instant::now();
+            let pm = PureMatching::default().run(&market);
+            let pm_time = t0.elapsed();
+            let t0 = Instant::now();
+            let pg = PureGreedy::default().run(&market);
+            let pg_time = t0.elapsed();
+
+            let table = wsp::enumerate_subset_revenues(&market);
+            let (opt_cov, opt_time) = if n <= OPTIMAL_MAX_N {
+                let o = wsp::optimal(&market, &table);
+                (o.coverage, o.trace.total_time())
+            } else {
+                (f64::NAN, Duration::ZERO)
+            };
+            let gw = wsp::greedy_wsp(&market, &table);
+
+            accepted.push(SampleResult {
+                coverage: [pm.coverage, pg.coverage, opt_cov, gw.coverage],
+                time: [pm_time, pg_time, opt_time, gw.trace.total_time()],
+                enumeration: table.enumeration_time,
+                max_bundle: pm.config.max_bundle_size(),
+            });
+        }
+        eprintln!(
+            "N={n}: {} samples from {attempt} attempts (max-bundle sizes {:?})",
+            accepted.len(),
+            accepted.iter().map(|s| s.max_bundle).collect::<Vec<_>>()
+        );
+        if accepted.is_empty() {
+            cov_table.row(vec![
+                n.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                paper_cov[si.min(3)].into(),
+            ]);
+            continue;
+        }
+        let mean_cov = |k: usize| -> String {
+            let vals: Vec<f64> =
+                accepted.iter().map(|s| s.coverage[k]).filter(|v| !v.is_nan()).collect();
+            if vals.is_empty() {
+                "-".into()
+            } else {
+                pct(runstats::summarize(&vals).mean)
+            }
+        };
+        let mean_time = |k: usize| -> String {
+            let vals: Vec<f64> =
+                accepted.iter().map(|s| s.time[k].as_secs_f64()).collect();
+            if n > OPTIMAL_MAX_N && k == 2 {
+                "-".into()
+            } else {
+                format!("{:.3}", runstats::summarize(&vals).mean)
+            }
+        };
+        cov_table.row(vec![
+            n.to_string(),
+            mean_cov(0),
+            mean_cov(1),
+            mean_cov(2),
+            mean_cov(3),
+            paper_cov[si.min(3)].into(),
+        ]);
+        let enum_mean: Vec<f64> =
+            accepted.iter().map(|s| s.enumeration.as_secs_f64()).collect();
+        time_table.row(vec![
+            n.to_string(),
+            mean_time(0),
+            mean_time(1),
+            mean_time(2),
+            mean_time(3),
+            secs(Duration::from_secs_f64(runstats::summarize(&enum_mean).mean)),
+        ]);
+    }
+    cov_table.print();
+    println!();
+    time_table.print();
+    for (t, name) in [(&cov_table, "table4_wsp_coverage"), (&time_table, "table5_wsp_time")] {
+        if let Ok(p) = t.save_csv(&args.out_dir, name) {
+            println!("saved {}", p.display());
+        }
+    }
+}

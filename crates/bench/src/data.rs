@@ -1,0 +1,58 @@
+//! Market construction shared by all experiment binaries.
+
+use crate::args::Scale;
+use revmax_core::prelude::*;
+use revmax_dataset::{AmazonBooksConfig, RatingsData};
+
+/// The generator configuration for a scale preset.
+pub fn config_for(scale: Scale) -> AmazonBooksConfig {
+    match scale {
+        Scale::Small => AmazonBooksConfig::small(),
+        Scale::Medium => AmazonBooksConfig::medium(),
+        Scale::Paper => AmazonBooksConfig::paper(),
+    }
+}
+
+/// Generate the ratings dataset for a scale/seed.
+pub fn dataset(scale: Scale, seed: u64) -> RatingsData {
+    config_for(scale).generate(seed)
+}
+
+/// Build the WTP matrix from ratings data under `params` (λ applied per
+/// §6.1.1) and wrap it in a market.
+pub fn market_from(data: &RatingsData, params: Params) -> Market {
+    let wtp = WtpMatrix::from_ratings(
+        data.n_users(),
+        data.n_items(),
+        data.ratings().iter().map(|r| (r.user, r.item, r.stars)),
+        data.prices(),
+        params.lambda,
+    );
+    Market::new(wtp, params)
+}
+
+/// One-call market for a scale/seed with given params.
+pub fn market(scale: Scale, seed: u64, params: Params) -> Market {
+    market_from(&dataset(scale, seed), params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_market_builds() {
+        let m = market(Scale::Small, 1, Params::default());
+        assert!(m.n_users() > 0);
+        assert!(m.n_items() > 0);
+        assert!(m.total_wtp() > 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = market(Scale::Small, 9, Params::default());
+        let b = market(Scale::Small, 9, Params::default());
+        assert_eq!(a.total_wtp(), b.total_wtp());
+        assert_eq!(a.n_items(), b.n_items());
+    }
+}

@@ -1,0 +1,36 @@
+//! # revmax-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §5 for the
+//! index); this library holds the shared plumbing: scale/seed CLI flags,
+//! market construction from the synthetic dataset, run-statistics, and
+//! CSV/markdown report writers.
+
+pub mod args;
+pub mod data;
+pub mod report;
+pub mod runstats;
+
+use revmax_core::prelude::*;
+
+/// All seven comparative methods of Section 6.2, in the paper's order.
+pub fn all_methods() -> Vec<Box<dyn Configurator>> {
+    vec![
+        Box::new(Components::optimal()),
+        Box::new(PureMatching::default()),
+        Box::new(PureGreedy::default()),
+        Box::new(MixedMatching::default()),
+        Box::new(MixedGreedy::default()),
+        Box::new(PureFreqItemset::default()),
+        Box::new(MixedFreqItemset::default()),
+    ]
+}
+
+/// The four proposed algorithms (no baselines).
+pub fn proposed_methods() -> Vec<Box<dyn Configurator>> {
+    vec![
+        Box::new(PureMatching::default()),
+        Box::new(PureGreedy::default()),
+        Box::new(MixedMatching::default()),
+        Box::new(MixedGreedy::default()),
+    ]
+}

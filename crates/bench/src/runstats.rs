@@ -1,0 +1,48 @@
+//! Mean/stddev over repeated stochastic runs (the paper averages ten).
+
+/// Summary of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    pub mean: f64,
+    pub std_dev: f64,
+    pub n: usize,
+}
+
+/// Compute mean and (sample) standard deviation.
+pub fn summarize(xs: &[f64]) -> RunStats {
+    assert!(!xs.is_empty(), "no measurements");
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    RunStats { mean, std_dev: var.sqrt(), n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic() {
+        let s = summarize(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = summarize(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no measurements")]
+    fn empty_rejected() {
+        summarize(&[]);
+    }
+}

@@ -1,0 +1,160 @@
+//! The stochastic adoption model (Section 4.1, Eq. 6).
+//!
+//! `P(ν_{u,b} = 1 | p_b, w_{u,b}) = 1 / (1 + exp{−γ(α·w − p + ε)})`
+//!
+//! γ controls price sensitivity (γ→∞ degenerates to the deterministic step
+//! rule "adopt iff w ≥ p" used by classical bundling work), α shifts the
+//! curve to model bias toward (α>1) or against (α<1) adoption, and the tiny
+//! ε breaks the tie at `w = p` in favour of adoption.
+
+use crate::params::Params;
+use rand::Rng;
+
+/// Adoption probability model; cheap to copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdoptionModel {
+    /// Price sensitivity γ.
+    pub gamma: f64,
+    /// Adoption bias α.
+    pub alpha: f64,
+    /// Tie-break noise ε.
+    pub epsilon: f64,
+}
+
+impl AdoptionModel {
+    /// Extract the adoption parameters from [`Params`].
+    pub fn from_params(p: &Params) -> Self {
+        AdoptionModel { gamma: p.gamma, alpha: p.adoption_bias, epsilon: p.epsilon }
+    }
+
+    /// True when γ is large enough to behave as the step function.
+    pub fn is_step(&self) -> bool {
+        self.gamma >= Params::STEP_GAMMA
+    }
+
+    /// The sigmoid margin `α·w − p + ε`.
+    #[inline]
+    pub fn margin(&self, wtp: f64, price: f64) -> f64 {
+        self.alpha * wtp - price + self.epsilon
+    }
+
+    /// Adoption probability at `price` for a consumer with WTP `wtp`.
+    #[inline]
+    pub fn probability(&self, wtp: f64, price: f64) -> f64 {
+        self.probability_of_margin(self.margin(wtp, price))
+    }
+
+    /// Adoption probability given a precomputed margin (used by the mixed
+    /// evaluation, whose margin is the add-on margin, not `α·w − p`).
+    #[inline]
+    pub fn probability_of_margin(&self, margin: f64) -> f64 {
+        if self.is_step() {
+            // Exact step semantics: adopt iff the margin is non-negative
+            // (w ≥ p adopts, matching "willingness to pay exceeds or equals
+            // the price").
+            return if margin >= 0.0 { 1.0 } else { 0.0 };
+        }
+        let x = self.gamma * margin;
+        // exp saturates gracefully: 1/(1+inf) = 0, 1/(1+0) = 1.
+        1.0 / (1.0 + (-x).exp())
+    }
+
+    /// Draw an adoption outcome.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, wtp: f64, price: f64) -> bool {
+        self.sample_margin(rng, self.margin(wtp, price))
+    }
+
+    /// Draw an adoption outcome from a precomputed margin.
+    pub fn sample_margin<R: Rng + ?Sized>(&self, rng: &mut R, margin: f64) -> bool {
+        let p = self.probability_of_margin(margin);
+        if p >= 1.0 {
+            true
+        } else if p <= 0.0 {
+            false
+        } else {
+            rng.random::<f64>() < p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sigmoid(gamma: f64) -> AdoptionModel {
+        AdoptionModel { gamma, alpha: 1.0, epsilon: 0.0 }
+    }
+
+    #[test]
+    fn half_probability_at_wtp_equals_price() {
+        // Figure 1(a): at p = w = 10 the original sigmoid gives 0.5.
+        let m = sigmoid(1.0);
+        assert!((m.probability(10.0, 10.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_price_and_wtp() {
+        let m = sigmoid(1.0);
+        assert!(m.probability(10.0, 5.0) > m.probability(10.0, 15.0));
+        assert!(m.probability(12.0, 10.0) > m.probability(8.0, 10.0));
+    }
+
+    #[test]
+    fn gamma_sharpens_the_curve() {
+        // Figure 1(a): higher γ → steeper; at a fixed price below WTP the
+        // sharp curve is closer to 1.
+        let soft = sigmoid(0.1);
+        let sharp = sigmoid(10.0);
+        assert!(sharp.probability(10.0, 8.0) > soft.probability(10.0, 8.0));
+        assert!(sharp.probability(10.0, 12.0) < soft.probability(10.0, 12.0));
+    }
+
+    #[test]
+    fn alpha_biases_adoption() {
+        // Figure 1(b): α>1 raises the probability at every price point.
+        let base = AdoptionModel { gamma: 1.0, alpha: 1.0, epsilon: 0.0 };
+        let pro = AdoptionModel { gamma: 1.0, alpha: 1.25, epsilon: 0.0 };
+        let anti = AdoptionModel { gamma: 1.0, alpha: 0.75, epsilon: 0.0 };
+        for price in [2.0, 6.0, 10.0, 14.0] {
+            assert!(pro.probability(10.0, price) > base.probability(10.0, price));
+            assert!(anti.probability(10.0, price) < base.probability(10.0, price));
+        }
+    }
+
+    #[test]
+    fn step_regime_is_exact() {
+        let m = AdoptionModel { gamma: 1e6, alpha: 1.0, epsilon: 1e-6 };
+        assert!(m.is_step());
+        assert_eq!(m.probability(10.0, 10.0), 1.0); // ties adopt
+        assert_eq!(m.probability(10.0, 10.0 + 1e-5), 0.0);
+        assert_eq!(m.probability(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn extreme_sigmoid_saturates_without_nan() {
+        let m = sigmoid(50.0);
+        assert_eq!(m.probability(1000.0, 0.0), 1.0);
+        assert!(m.probability(0.0, 1000.0) < 1e-300);
+        assert!(m.probability(0.0, 1000.0) >= 0.0);
+    }
+
+    #[test]
+    fn sampling_tracks_probability() {
+        let m = sigmoid(1.0);
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| m.sample(&mut rng, 10.0, 10.0)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn step_sampling_is_deterministic() {
+        let m = AdoptionModel { gamma: 1e7, alpha: 1.0, epsilon: 1e-6 };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(m.sample(&mut rng, 10.0, 9.0));
+        assert!(!m.sample(&mut rng, 10.0, 11.0));
+    }
+}

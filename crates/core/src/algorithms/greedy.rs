@@ -1,0 +1,365 @@
+//! Algorithm 2: the greedy configurator.
+//!
+//! Each iteration merges the single pair of current bundles with the
+//! highest absolute revenue gain, then requotes only the merges involving
+//! the newly formed bundle (O(N) per iteration after the O(N²) first
+//! round). A max-heap with lazy invalidation (offers are versioned; stale
+//! entries are discarded at pop time) keeps each iteration at
+//! O(log candidates).
+//!
+//! Stopping: by default, when the best gain is no longer positive ("One
+//! natural stopping condition, which we adopt in this paper, is when there
+//! is no more revenue gain"). The paper's alternative — merge all the way
+//! to a single bundle and return the best intermediate configuration — is
+//! available via [`GreedyOptions::merge_to_single`] and exercised by the
+//! ablation bench.
+
+use crate::algorithms::pure_state::{MergeQuote, MixedOffer, PureOffer, SearchOffer};
+use crate::algorithms::Configurator;
+use crate::config::{BundleConfig, Outcome};
+use crate::market::{Market, Scratch};
+use crate::trace::IterationTrace;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Options for [`GreedyConfigurator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GreedyOptions {
+    /// Restrict candidate pairs to bundles sharing at least one rater
+    /// (lossless for θ ≤ 0; the same heuristic the matching engine uses).
+    pub co_rater_pruning: bool,
+    /// Keep merging (accepting negative gains) until one bundle remains,
+    /// then return the best configuration seen (§5.3.2's alternative
+    /// stopping condition).
+    pub merge_to_single: bool,
+}
+
+impl Default for GreedyOptions {
+    fn default() -> Self {
+        GreedyOptions { co_rater_pruning: true, merge_to_single: false }
+    }
+}
+
+/// Heap entry: a quoted merge between two specific offer versions.
+struct HeapEntry {
+    gain: f64,
+    price: f64,
+    i: usize,
+    j: usize,
+    vi: u64,
+    vj: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.gain == other.gain
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on gain; deterministic tie-break on indices.
+        self.gain
+            .partial_cmp(&other.gain)
+            .expect("gains are never NaN")
+            .then_with(|| (other.i, other.j).cmp(&(self.i, self.j)))
+    }
+}
+
+/// The engine behind [`PureGreedy`] and [`MixedGreedy`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyConfigurator {
+    pub opts: GreedyOptions,
+}
+
+struct Pool<S> {
+    offers: Vec<Option<S>>,
+    versions: Vec<u64>,
+}
+
+impl<S: SearchOffer> Pool<S> {
+    fn alive(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.offers.len()).filter(|&i| self.offers[i].is_some())
+    }
+}
+
+impl GreedyConfigurator {
+    fn quote_into_heap<S: SearchOffer>(
+        &self,
+        market: &Market,
+        pool: &Pool<S>,
+        scratch: &mut Scratch,
+        heap: &mut BinaryHeap<HeapEntry>,
+        i: usize,
+        j: usize,
+        allow_nonpositive: bool,
+    ) {
+        let (Some(a), Some(b)) = (&pool.offers[i], &pool.offers[j]) else { return };
+        if !market.params().size_cap.allows(a.bundle().len() + b.bundle().len()) {
+            return;
+        }
+        if self.opts.co_rater_pruning && !a.raters().intersects(b.raters()) {
+            return;
+        }
+        let quote = match S::plan_merge(market, a, b, scratch) {
+            Some(q) => q,
+            None if allow_nonpositive => {
+                // merge_to_single mode needs *some* quote even when the
+                // merge loses revenue: price the union outright.
+                let merged = a.bundle().union(b.bundle());
+                let priced = market.price_pure(merged.items(), scratch);
+                MergeQuote { price: priced.price, gain: priced.revenue - a.revenue() - b.revenue() }
+            }
+            None => return,
+        };
+        heap.push(HeapEntry {
+            gain: quote.gain,
+            price: quote.price,
+            i,
+            j,
+            vi: pool.versions[i],
+            vj: pool.versions[j],
+        });
+    }
+
+    fn run_generic<S: SearchOffer>(&self, market: &Market, name: &'static str) -> Outcome {
+        let start = Instant::now();
+        let mut scratch = market.scratch();
+        let n = market.n_items();
+        let mut trace = IterationTrace::new();
+
+        let mut pool: Pool<S> = Pool {
+            offers: (0..n as u32).map(|i| Some(S::init(market, i, &mut scratch))).collect(),
+            versions: vec![0; n],
+        };
+        let mut revenue: f64 = pool.alive().map(|i| pool.offers[i].as_ref().unwrap().revenue()).sum();
+        let components_revenue = revenue;
+        let allow_nonpositive = self.opts.merge_to_single;
+
+        // First round: all (pruned) pairs.
+        let mut heap = BinaryHeap::new();
+        if self.opts.co_rater_pruning {
+            for (a, b) in market.co_rated_pairs() {
+                self.quote_into_heap(
+                    market,
+                    &pool,
+                    &mut scratch,
+                    &mut heap,
+                    a as usize,
+                    b as usize,
+                    allow_nonpositive,
+                );
+            }
+        } else {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    self.quote_into_heap(
+                        market,
+                        &pool,
+                        &mut scratch,
+                        &mut heap,
+                        i,
+                        j,
+                        allow_nonpositive,
+                    );
+                }
+            }
+        }
+
+        // Best configuration snapshot (merge_to_single mode only). After
+        // the first dip into loss territory, every new revenue peak is
+        // snapshotted (a valley can be followed by a higher peak, which a
+        // first-dip-only snapshot would miss).
+        let mut best_snapshot: Option<(f64, Vec<Option<S>>)> = None;
+        let mut dipped = false;
+        let mut alive_count = n;
+        while let Some(entry) = heap.pop() {
+            // Lazy invalidation: both endpoints must be unchanged.
+            if pool.offers[entry.i].is_none()
+                || pool.offers[entry.j].is_none()
+                || pool.versions[entry.i] != entry.vi
+                || pool.versions[entry.j] != entry.vj
+            {
+                continue;
+            }
+            if entry.gain <= 0.0 && !allow_nonpositive {
+                break; // natural stopping condition
+            }
+            if entry.gain <= 0.0 && !dipped {
+                // Crossing into loss territory: remember the peak.
+                dipped = true;
+                best_snapshot = Some((revenue, clone_pool(&pool.offers)));
+            }
+            let a = pool.offers[entry.i].take().unwrap();
+            let b = pool.offers[entry.j].take().unwrap();
+            pool.versions[entry.i] += 1;
+            pool.versions[entry.j] += 1;
+            let merged = S::commit_merge(
+                market,
+                a,
+                b,
+                MergeQuote { price: entry.price, gain: entry.gain },
+                &mut scratch,
+            );
+            revenue += entry.gain;
+            pool.offers.push(Some(merged));
+            pool.versions.push(0);
+            let new_idx = pool.offers.len() - 1;
+            alive_count -= 1;
+            trace.push(revenue, start.elapsed(), alive_count);
+            if dipped && best_snapshot.as_ref().is_some_and(|(b, _)| revenue > *b) {
+                // New post-valley peak: update the rollback point.
+                best_snapshot = Some((revenue, clone_pool(&pool.offers)));
+            }
+            // Requote the new bundle against every other alive offer.
+            let others: Vec<usize> = pool.alive().filter(|&x| x != new_idx).collect();
+            for x in others {
+                self.quote_into_heap(
+                    market,
+                    &pool,
+                    &mut scratch,
+                    &mut heap,
+                    x.min(new_idx),
+                    x.max(new_idx),
+                    allow_nonpositive,
+                );
+            }
+            if alive_count == 1 {
+                break;
+            }
+        }
+
+        // merge_to_single: roll back to the best configuration seen.
+        if let Some((best_rev, snapshot)) = best_snapshot {
+            if best_rev > revenue {
+                pool.offers = snapshot;
+                revenue = best_rev;
+            }
+        }
+
+        let roots = pool.offers.into_iter().flatten().map(S::into_node).collect();
+        let config = BundleConfig { strategy: S::STRATEGY, roots };
+        debug_assert!({
+            config.validate(n);
+            true
+        });
+        Outcome::assemble(name, config, revenue, components_revenue, market, trace)
+    }
+}
+
+fn clone_pool<S: SearchOffer>(offers: &[Option<S>]) -> Vec<Option<S>> {
+    offers.to_vec()
+}
+
+/// `Pure Greedy` (Algorithm 2 under pure bundling).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PureGreedy {
+    pub opts: GreedyOptions,
+}
+
+impl Configurator for PureGreedy {
+    fn name(&self) -> &'static str {
+        "Pure Greedy"
+    }
+
+    fn run(&self, market: &Market) -> Outcome {
+        GreedyConfigurator { opts: self.opts }.run_generic::<PureOffer>(market, self.name())
+    }
+}
+
+/// `Mixed Greedy` (Algorithm 2 under mixed bundling).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MixedGreedy {
+    pub opts: GreedyOptions,
+}
+
+impl Configurator for MixedGreedy {
+    fn name(&self) -> &'static str {
+        "Mixed Greedy"
+    }
+
+    fn run(&self, market: &Market) -> Outcome {
+        GreedyConfigurator { opts: self.opts }.run_generic::<MixedOffer>(market, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::test_support::{complementary, substitutes, table1, table1_theta_zero};
+    use crate::algorithms::Components;
+
+    #[test]
+    fn pure_greedy_on_table1() {
+        let out = PureGreedy::default().run(&table1());
+        assert!((out.revenue - 30.4).abs() < 1e-9);
+        assert_eq!(out.config.roots.len(), 1);
+        out.config.validate(2);
+    }
+
+    #[test]
+    fn mixed_greedy_on_table1() {
+        let m = table1();
+        let out = MixedGreedy::default().run(&m);
+        assert!((out.revenue - 32.0).abs() < 1e-9);
+        assert!((out.config.expected_revenue(&m) - out.revenue).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_never_below_components() {
+        for m in [table1(), table1_theta_zero(), complementary(), substitutes()] {
+            let c = Components::optimal().run(&m);
+            assert!(PureGreedy::default().run(&m).revenue >= c.revenue - 1e-9);
+            assert!(MixedGreedy::default().run(&m).revenue >= c.revenue - 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_merge_per_iteration() {
+        let out = PureGreedy::default().run(&complementary());
+        // Every iteration collapses exactly two bundles into one.
+        let pts = out.trace.points();
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert_eq!(w[0].n_bundles, w[1].n_bundles + 1);
+            assert!(w[1].revenue >= w[0].revenue);
+        }
+    }
+
+    #[test]
+    fn merge_to_single_never_worse_than_default() {
+        for m in [table1(), table1_theta_zero(), complementary(), substitutes()] {
+            let plain = PureGreedy::default().run(&m);
+            let deep = PureGreedy {
+                opts: GreedyOptions { merge_to_single: true, ..Default::default() },
+            }
+            .run(&m);
+            assert!(
+                deep.revenue >= plain.revenue - 1e-9,
+                "merge_to_single lost revenue: {} vs {}",
+                deep.revenue,
+                plain.revenue
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_matches_matching_on_two_items() {
+        // With two items both algorithms solve the same 1-merge decision.
+        use crate::algorithms::{MixedMatching, PureMatching};
+        for m in [table1(), table1_theta_zero(), substitutes()] {
+            let pg = PureGreedy::default().run(&m).revenue;
+            let pm = PureMatching::default().run(&m).revenue;
+            assert!((pg - pm).abs() < 1e-9);
+            let mg = MixedGreedy::default().run(&m).revenue;
+            let mm = MixedMatching::default().run(&m).revenue;
+            assert!((mg - mm).abs() < 1e-9);
+        }
+    }
+}

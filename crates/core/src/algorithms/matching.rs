@@ -1,0 +1,315 @@
+//! Algorithm 1: the matching-based configurator.
+//!
+//! Each iteration builds a graph whose vertices are the current top-level
+//! bundles, scores candidate pairwise merges, and commits the
+//! maximum-weight matching of the positive-gain edges (computed by the
+//! blossom engine in `revmax-matching` through the gain-graph reduction).
+//! Merged bundles become single vertices for the next round, so bundle
+//! sizes can double every iteration. Stops when no matching improves
+//! revenue or when the size cap `k` forbids further growth.
+//!
+//! The two pruning rules of Section 5.3.1 are on by default and
+//! individually switchable for ablation:
+//!
+//! * **co-rater pruning** (first iteration): only item pairs co-rated by at
+//!   least one consumer are candidate edges;
+//! * **new-vertex pruning** (later iterations): only edges touching a
+//!   vertex formed in the previous iteration are (re)considered.
+
+use crate::algorithms::pure_state::{MergeQuote, MixedOffer, PureOffer, SearchOffer};
+use crate::algorithms::Configurator;
+use crate::config::{BundleConfig, Outcome};
+use crate::market::Market;
+use crate::trace::IterationTrace;
+use revmax_matching::max_weight_matching_f64;
+use std::time::Instant;
+
+/// Pruning switches for [`MatchingConfigurator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchingOptions {
+    /// First-iteration pruning: only co-rated item pairs.
+    pub co_rater_pruning: bool,
+    /// Later-iteration pruning: only edges involving a new vertex.
+    pub new_vertex_pruning: bool,
+    /// Hard cap on iterations (safety valve; the diminishing-returns
+    /// argument of §5.3.1 bounds it in practice).
+    pub max_iterations: usize,
+}
+
+impl Default for MatchingOptions {
+    fn default() -> Self {
+        MatchingOptions { co_rater_pruning: true, new_vertex_pruning: true, max_iterations: 64 }
+    }
+}
+
+/// The engine behind [`PureMatching`] and [`MixedMatching`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatchingConfigurator {
+    pub opts: MatchingOptions,
+}
+
+impl MatchingConfigurator {
+    fn run_generic<S: SearchOffer>(&self, market: &Market, name: &'static str) -> Outcome {
+        let start = Instant::now();
+        let mut scratch = market.scratch();
+        let n = market.n_items();
+        let mut trace = IterationTrace::new();
+
+        // Offer pool; `None` = consumed by a merge.
+        let mut offers: Vec<Option<S>> = (0..n as u32)
+            .map(|i| Some(S::init(market, i, &mut scratch)))
+            .collect();
+        let mut revenue: f64 = offers.iter().map(|o| o.as_ref().unwrap().revenue()).sum();
+        let components_revenue = revenue;
+
+        // Vertices formed in the previous iteration (all, initially).
+        let mut fresh: Vec<usize> = (0..n).collect();
+        let size_cap = market.params().size_cap;
+
+        for _iter in 0..self.opts.max_iterations {
+            // ---- candidate generation -------------------------------------------
+            let candidate_pairs: Vec<(usize, usize)> = if trace.iterations() == 0 {
+                if self.opts.co_rater_pruning {
+                    market.co_rated_pairs().into_iter().map(|(a, b)| (a as usize, b as usize)).collect()
+                } else {
+                    (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect()
+                }
+            } else {
+                let alive: Vec<usize> =
+                    (0..offers.len()).filter(|&i| offers[i].is_some()).collect();
+                let mut pairs = Vec::new();
+                if self.opts.new_vertex_pruning {
+                    let fresh_set: std::collections::HashSet<usize> =
+                        fresh.iter().copied().collect();
+                    for &i in &fresh {
+                        for &j in &alive {
+                            if j != i && (!fresh_set.contains(&j) || j > i) {
+                                pairs.push((i.min(j), i.max(j)));
+                            }
+                        }
+                    }
+                } else {
+                    for (ai, &i) in alive.iter().enumerate() {
+                        for &j in &alive[ai + 1..] {
+                            pairs.push((i, j));
+                        }
+                    }
+                }
+                pairs
+            };
+
+            // ---- scoring ---------------------------------------------------------
+            let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+            let mut quotes: std::collections::HashMap<(usize, usize), MergeQuote> =
+                std::collections::HashMap::new();
+            for (i, j) in candidate_pairs {
+                let (Some(a), Some(b)) = (&offers[i], &offers[j]) else { continue };
+                if !size_cap.allows(a.bundle().len() + b.bundle().len()) {
+                    continue;
+                }
+                // Co-rater check between composite bundles (cheap bitmap
+                // intersection) under the same pruning flag.
+                if self.opts.co_rater_pruning && !a.raters().intersects(b.raters()) {
+                    continue;
+                }
+                if let Some(q) = S::plan_merge(market, a, b, &mut scratch) {
+                    edges.push((i, j, q.gain));
+                    quotes.insert((i, j), q);
+                }
+            }
+            if edges.is_empty() {
+                break;
+            }
+
+            // ---- maximum-weight matching on the gain graph -----------------------
+            // Compact the vertex set to the endpoints of gainful edges; all
+            // other offers keep their self-loops (stay as they are).
+            let mut vmap: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+            let mut vback: Vec<usize> = Vec::new();
+            let mut cedges = Vec::with_capacity(edges.len());
+            for &(i, j, w) in &edges {
+                let a = *vmap.entry(i).or_insert_with(|| {
+                    vback.push(i);
+                    vback.len() - 1
+                });
+                let b = *vmap.entry(j).or_insert_with(|| {
+                    vback.push(j);
+                    vback.len() - 1
+                });
+                cedges.push((a, b, w));
+            }
+            let (matching, gain_total) = max_weight_matching_f64(vback.len(), &cedges);
+            if gain_total <= 0.0 || matching.edges.is_empty() {
+                break;
+            }
+
+            // ---- commit the matched merges ---------------------------------------
+            fresh.clear();
+            for &(ca, cb) in &matching.edges {
+                let (i, j) = (vback[ca].min(vback[cb]), vback[ca].max(vback[cb]));
+                let quote = quotes[&(i, j)];
+                let a = offers[i].take().expect("matched offer alive");
+                let b = offers[j].take().expect("matched offer alive");
+                let merged = S::commit_merge(market, a, b, quote, &mut scratch);
+                revenue += quote.gain;
+                offers.push(Some(merged));
+                fresh.push(offers.len() - 1);
+            }
+            let n_bundles = offers.iter().filter(|o| o.is_some()).count();
+            trace.push(revenue, start.elapsed(), n_bundles);
+        }
+
+        let roots = offers.into_iter().flatten().map(S::into_node).collect();
+        let config = BundleConfig { strategy: S::STRATEGY, roots };
+        debug_assert!({
+            config.validate(n);
+            true
+        });
+        Outcome::assemble(name, config, revenue, components_revenue, market, trace)
+    }
+}
+
+/// `Pure Matching` (Algorithm 1 under pure bundling).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PureMatching {
+    pub opts: MatchingOptions,
+}
+
+impl Configurator for PureMatching {
+    fn name(&self) -> &'static str {
+        "Pure Matching"
+    }
+
+    fn run(&self, market: &Market) -> Outcome {
+        MatchingConfigurator { opts: self.opts }.run_generic::<PureOffer>(market, self.name())
+    }
+}
+
+/// `Mixed Matching` (Algorithm 1 under mixed bundling).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MixedMatching {
+    pub opts: MatchingOptions,
+}
+
+impl Configurator for MixedMatching {
+    fn name(&self) -> &'static str {
+        "Mixed Matching"
+    }
+
+    fn run(&self, market: &Market) -> Outcome {
+        MatchingConfigurator { opts: self.opts }.run_generic::<MixedOffer>(market, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::test_support::{complementary, substitutes, table1, table1_theta_zero};
+    use crate::algorithms::Components;
+    use crate::params::{Params, SizeCap};
+    use crate::wtp::WtpMatrix;
+
+    #[test]
+    fn pure_matching_on_table1() {
+        let out = PureMatching::default().run(&table1());
+        // Bundle {A,B} at 15.2 nets 30.4 > 27 → single bundle.
+        assert!((out.revenue - 30.4).abs() < 1e-9);
+        assert_eq!(out.config.roots.len(), 1);
+        assert!((out.gain - 3.4 / 27.0).abs() < 1e-9);
+        out.config.validate(2);
+    }
+
+    #[test]
+    fn mixed_matching_on_table1() {
+        let m = table1();
+        let out = MixedMatching::default().run(&m);
+        assert!((out.revenue - 32.0).abs() < 1e-9);
+        // The root offers the bundle AND keeps both components on sale.
+        assert_eq!(out.config.roots.len(), 1);
+        assert_eq!(out.config.roots[0].children.len(), 2);
+        out.config.validate(2);
+        // Re-evaluating the final configuration reproduces the reported
+        // revenue (search accounting is consistent with evaluation).
+        assert!((out.config.expected_revenue(&m) - out.revenue).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reverts_to_components_on_substitutes() {
+        let m = substitutes();
+        for out in [
+            PureMatching::default().run(&m),
+            MixedMatching::default().run(&m),
+        ] {
+            assert!((out.revenue - out.components_revenue).abs() < 1e-9, "{}", out.algorithm);
+            assert_eq!(out.gain, 0.0);
+            assert_eq!(out.config.roots.len(), 2);
+        }
+    }
+
+    #[test]
+    fn size_cap_enforced() {
+        // Each user loves one item (10) and mildly wants the rest (2):
+        // the grand bundle flattens WTP to 16 for everyone, the classic
+        // case where large bundles dominate (Bakos–Brynjolfsson).
+        let rows = || {
+            WtpMatrix::from_rows(vec![
+                vec![10.0, 2.0, 2.0, 2.0],
+                vec![2.0, 10.0, 2.0, 2.0],
+                vec![2.0, 2.0, 10.0, 2.0],
+                vec![2.0, 2.0, 2.0, 10.0],
+            ])
+        };
+        let m = Market::new(rows(), Params::default().with_size_cap(SizeCap::AtMost(2)));
+        let out = PureMatching::default().run(&m);
+        assert!(out.config.max_bundle_size() <= 2);
+        out.config.validate(4);
+        // Without the cap the grand bundle forms: price 16 × 4 users = 64
+        // vs components 4 × 10 = 40.
+        let m2 = Market::new(rows(), Params::default());
+        let out2 = PureMatching::default().run(&m2);
+        assert_eq!(out2.config.max_bundle_size(), 4);
+        assert!((out2.revenue - 64.0).abs() < 1e-9);
+        assert!(out2.revenue >= out.revenue - 1e-9);
+    }
+
+    #[test]
+    fn complementary_market_bundles_up() {
+        let out = PureMatching::default().run(&complementary());
+        assert!(out.gain > 0.0);
+        assert!(out.config.max_bundle_size() >= 2);
+    }
+
+    #[test]
+    fn disabling_pruning_cannot_reduce_revenue_at_theta_zero() {
+        // With θ=0, co-rater pruning is lossless: revenue must match.
+        let m = table1_theta_zero();
+        let pruned = PureMatching::default().run(&m);
+        let full = PureMatching {
+            opts: MatchingOptions {
+                co_rater_pruning: false,
+                new_vertex_pruning: false,
+                ..Default::default()
+            },
+        }
+        .run(&m);
+        assert!((pruned.revenue - full.revenue).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_is_recorded() {
+        let out = PureMatching::default().run(&table1());
+        assert_eq!(out.trace.iterations(), 1);
+        assert!((out.trace.final_revenue() - 30.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matching_beats_or_equals_components_always() {
+        for m in [table1(), table1_theta_zero(), complementary(), substitutes()] {
+            let c = Components::optimal().run(&m);
+            let pm = PureMatching::default().run(&m);
+            let mm = MixedMatching::default().run(&m);
+            assert!(pm.revenue >= c.revenue - 1e-9);
+            assert!(mm.revenue >= c.revenue - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The configuration algorithms (Section 5) and baselines (Section 6.1.3).
+
+mod components;
+mod freq_itemset;
+mod greedy;
+mod matching;
+mod pure_state;
+
+pub use components::Components;
+pub use freq_itemset::{FreqItemsetConfigurator, FreqOptions, MixedFreqItemset, PureFreqItemset};
+pub use greedy::{GreedyConfigurator, GreedyOptions, MixedGreedy, PureGreedy};
+pub use matching::{MatchingConfigurator, MatchingOptions, MixedMatching, PureMatching};
+
+use crate::config::Outcome;
+use crate::market::Market;
+
+/// A bundle-configuration algorithm: consumes a market, produces a priced
+/// configuration with metrics and a per-iteration trace.
+pub trait Configurator {
+    /// Paper nomenclature ("Components", "Pure Matching", …).
+    fn name(&self) -> &'static str;
+    /// Run on a market.
+    fn run(&self, market: &Market) -> Outcome;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::market::Market;
+    use crate::params::Params;
+    use crate::wtp::WtpMatrix;
+
+    /// Table 1's market (θ = −0.05).
+    pub fn table1() -> Market {
+        let w = WtpMatrix::from_rows(vec![
+            vec![12.0, 4.0],
+            vec![8.0, 2.0],
+            vec![5.0, 11.0],
+        ]);
+        Market::new(w, Params::default().with_theta(-0.05))
+    }
+
+    /// Same WTP, θ = 0 (independent items).
+    pub fn table1_theta_zero() -> Market {
+        let w = WtpMatrix::from_rows(vec![
+            vec![12.0, 4.0],
+            vec![8.0, 2.0],
+            vec![5.0, 11.0],
+        ]);
+        Market::new(w, Params::default())
+    }
+
+    /// A complementary market where bundling clearly wins: two items,
+    /// anti-correlated WTP, θ > 0.
+    pub fn complementary() -> Market {
+        let w = WtpMatrix::from_rows(vec![
+            vec![10.0, 2.0],
+            vec![2.0, 10.0],
+            vec![6.0, 6.0],
+            vec![9.0, 3.0],
+        ]);
+        Market::new(w, Params::default().with_theta(0.10))
+    }
+
+    /// A market of substitutes (θ < 0) where bundling cannot help and every
+    /// algorithm must fall back to Components.
+    pub fn substitutes() -> Market {
+        let w = WtpMatrix::from_rows(vec![
+            vec![10.0, 10.0],
+            vec![10.0, 10.0],
+            vec![10.0, 10.0],
+        ]);
+        Market::new(w, Params::default().with_theta(-0.5))
+    }
+}

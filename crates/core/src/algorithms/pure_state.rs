@@ -1,0 +1,224 @@
+//! Shared search-state abstraction for the matching and greedy engines.
+//!
+//! Both Algorithm 1 (matching) and Algorithm 2 (greedy) manipulate a pool
+//! of current top-level offers and repeatedly merge pairs. The only
+//! difference between pure and mixed bundling is *how a merge is priced and
+//! accounted* (Section 5.3.3: "the key difference between the two is how
+//! the revenue of a bundle is computed"). [`SearchOffer`] abstracts exactly
+//! that, so each engine is written once.
+
+use crate::bundle::Bundle;
+use crate::config::{OfferNode, Strategy};
+use crate::market::{Market, Scratch};
+use crate::mixed::{self, TopOffer};
+
+/// A priced quote for merging two offers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct MergeQuote {
+    /// Price of the merged bundle.
+    pub price: f64,
+    /// Revenue gain over the two offers.
+    pub gain: f64,
+}
+
+/// One top-level offer during configuration search.
+pub(crate) trait SearchOffer: Sized + Clone {
+    /// Which problem variant this offer type solves.
+    const STRATEGY: Strategy;
+
+    /// The items covered.
+    fn bundle(&self) -> &Bundle;
+    /// Current expected revenue attributed to this offer.
+    fn revenue(&self) -> f64;
+    /// Users with positive WTP on any covered item.
+    fn raters(&self) -> &revmax_fim::Bitmap;
+    /// Convert into the final offer tree.
+    fn into_node(self) -> OfferNode;
+
+    /// Initial singleton offer for one item.
+    fn init(market: &Market, item: u32, scratch: &mut Scratch) -> Self;
+    /// Price the merge of `a` and `b`; `None` when the gain is not positive.
+    fn plan_merge(market: &Market, a: &Self, b: &Self, scratch: &mut Scratch)
+        -> Option<MergeQuote>;
+    /// Execute a planned merge.
+    fn commit_merge(
+        market: &Market,
+        a: Self,
+        b: Self,
+        quote: MergeQuote,
+        scratch: &mut Scratch,
+    ) -> Self;
+}
+
+/// Pure-bundling offer: a bundle at a single price, no sub-offers.
+#[derive(Debug, Clone)]
+pub(crate) struct PureOffer {
+    pub bundle: Bundle,
+    pub price: f64,
+    pub revenue: f64,
+    pub raters: revmax_fim::Bitmap,
+}
+
+impl SearchOffer for PureOffer {
+    const STRATEGY: Strategy = Strategy::Pure;
+
+    fn bundle(&self) -> &Bundle {
+        &self.bundle
+    }
+
+    fn revenue(&self) -> f64 {
+        self.revenue
+    }
+
+    fn raters(&self) -> &revmax_fim::Bitmap {
+        &self.raters
+    }
+
+    fn into_node(self) -> OfferNode {
+        OfferNode::leaf(self.bundle, self.price)
+    }
+
+    fn init(market: &Market, item: u32, scratch: &mut Scratch) -> Self {
+        let priced = market.price_pure(&[item], scratch);
+        PureOffer {
+            bundle: Bundle::single(item),
+            price: priced.price,
+            revenue: priced.revenue,
+            raters: market.item_raters(item),
+        }
+    }
+
+    fn plan_merge(
+        market: &Market,
+        a: &Self,
+        b: &Self,
+        scratch: &mut Scratch,
+    ) -> Option<MergeQuote> {
+        let merged = a.bundle.union(&b.bundle);
+        let priced = market.price_pure(merged.items(), scratch);
+        let gain = priced.revenue - a.revenue - b.revenue;
+        (gain > 0.0).then_some(MergeQuote { price: priced.price, gain })
+    }
+
+    fn commit_merge(
+        market: &Market,
+        a: Self,
+        b: Self,
+        quote: MergeQuote,
+        scratch: &mut Scratch,
+    ) -> Self {
+        let merged = a.bundle.union(&b.bundle);
+        // Re-derive revenue at the quoted price for exact accounting.
+        let _ = scratch;
+        let _ = market;
+        let mut raters = a.raters;
+        raters.or_assign(&b.raters);
+        PureOffer {
+            bundle: merged,
+            price: quote.price,
+            revenue: a.revenue + b.revenue + quote.gain,
+            raters,
+        }
+    }
+}
+
+/// Mixed-bundling offer: wraps [`mixed::TopOffer`] (offer tree + consumer
+/// holdings).
+#[derive(Debug, Clone)]
+pub(crate) struct MixedOffer {
+    inner: TopOffer,
+}
+
+impl SearchOffer for MixedOffer {
+    const STRATEGY: Strategy = Strategy::Mixed;
+
+    fn bundle(&self) -> &Bundle {
+        &self.inner.node.bundle
+    }
+
+    fn revenue(&self) -> f64 {
+        self.inner.revenue
+    }
+
+    fn raters(&self) -> &revmax_fim::Bitmap {
+        &self.inner.raters
+    }
+
+    fn into_node(self) -> OfferNode {
+        self.inner.node
+    }
+
+    fn init(market: &Market, item: u32, scratch: &mut Scratch) -> Self {
+        MixedOffer { inner: mixed::init_component(market, item, scratch) }
+    }
+
+    fn plan_merge(
+        market: &Market,
+        a: &Self,
+        b: &Self,
+        scratch: &mut Scratch,
+    ) -> Option<MergeQuote> {
+        mixed::price_merge(market, &a.inner, &b.inner, scratch)
+            .map(|p| MergeQuote { price: p.price, gain: p.gain })
+    }
+
+    fn commit_merge(
+        market: &Market,
+        a: Self,
+        b: Self,
+        quote: MergeQuote,
+        scratch: &mut Scratch,
+    ) -> Self {
+        MixedOffer {
+            inner: mixed::commit_merge(market, a.inner, b.inner, quote.price, scratch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::test_support::table1;
+
+    #[test]
+    fn pure_offer_init_and_merge() {
+        let m = table1();
+        let mut s = m.scratch();
+        let a = PureOffer::init(&m, 0, &mut s);
+        let b = PureOffer::init(&m, 1, &mut s);
+        assert!((a.revenue - 16.0).abs() < 1e-9);
+        assert!((b.revenue - 11.0).abs() < 1e-9);
+        // Pure merge: bundle revenue 30.4 > 27 → gain 3.4.
+        let q = PureOffer::plan_merge(&m, &a, &b, &mut s).expect("gain");
+        assert!((q.gain - 3.4).abs() < 1e-9);
+        assert!((q.price - 15.2).abs() < 1e-9);
+        let merged = PureOffer::commit_merge(&m, a, b, q, &mut s);
+        assert!((merged.revenue - 30.4).abs() < 1e-9);
+        assert_eq!(merged.bundle.items(), &[0, 1]);
+    }
+
+    #[test]
+    fn mixed_offer_matches_mixed_module() {
+        let m = table1();
+        let mut s = m.scratch();
+        let a = MixedOffer::init(&m, 0, &mut s);
+        let b = MixedOffer::init(&m, 1, &mut s);
+        let q = MixedOffer::plan_merge(&m, &a, &b, &mut s).expect("gain");
+        assert!((q.gain - 5.0).abs() < 1e-9);
+        let merged = MixedOffer::commit_merge(&m, a, b, q, &mut s);
+        assert!((merged.revenue() - 32.0).abs() < 1e-9);
+        // The mixed node keeps its components as children.
+        assert_eq!(merged.inner.node.children.len(), 2);
+    }
+
+    #[test]
+    fn plan_merge_none_when_no_gain() {
+        use crate::algorithms::test_support::substitutes;
+        let m = substitutes();
+        let mut s = m.scratch();
+        let a = PureOffer::init(&m, 0, &mut s);
+        let b = PureOffer::init(&m, 1, &mut s);
+        // Heavy substitutes (θ=-0.5): merging loses revenue.
+        assert!(PureOffer::plan_merge(&m, &a, &b, &mut s).is_none());
+    }
+}

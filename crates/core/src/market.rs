@@ -1,0 +1,271 @@
+//! The market: a WTP matrix plus model parameters, with the scratch-buffer
+//! machinery that makes repeated bundle-revenue queries cheap.
+
+use crate::bundle::Bundle;
+use crate::params::Params;
+use crate::pricing::{self, PricedOutcome, PriceMode, PricingCtx};
+use crate::wtp::WtpMatrix;
+
+/// A market instance: `M` consumers, `N` items, WTP, and parameters.
+#[derive(Debug, Clone)]
+pub struct Market {
+    wtp: WtpMatrix,
+    params: Params,
+    pricing: PricingCtx,
+}
+
+impl Market {
+    /// Create a market; validates the parameters. Pricing defaults to
+    /// [`PriceMode::Exact`] (see `DESIGN.md`: exact is the `T→∞` limit of
+    /// the paper's discretization and is used for headline numbers).
+    pub fn new(wtp: WtpMatrix, params: Params) -> Self {
+        params.validate();
+        let pricing = PricingCtx::from_params(&params);
+        Market { wtp, params, pricing }
+    }
+
+    /// Switch to the paper's `T`-level grid discretization.
+    pub fn with_grid_pricing(mut self) -> Self {
+        self.pricing.mode = PriceMode::Grid;
+        self
+    }
+
+    pub fn wtp(&self) -> &WtpMatrix {
+        &self.wtp
+    }
+
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    pub fn pricing_ctx(&self) -> &PricingCtx {
+        &self.pricing
+    }
+
+    pub fn n_users(&self) -> usize {
+        self.wtp.n_users()
+    }
+
+    pub fn n_items(&self) -> usize {
+        self.wtp.n_items()
+    }
+
+    /// Σ of all WTP entries: the revenue upper bound (coverage denominator).
+    pub fn total_wtp(&self) -> f64 {
+        self.wtp.total_wtp()
+    }
+
+    /// Fresh scratch buffers sized for this market.
+    pub fn scratch(&self) -> Scratch {
+        Scratch::new(self.n_users())
+    }
+
+    /// Per-user raw WTP sums over `items` (only users with a positive sum),
+    /// sorted by user id. Cost: O(Σ nnz of the item columns + sort).
+    pub fn bundle_user_sums<'a>(&self, items: &[u32], scratch: &'a mut Scratch) -> &'a [(u32, f64)] {
+        scratch.pairs.clear();
+        for &i in items {
+            for &(u, w) in self.wtp.col(i) {
+                let slot = &mut scratch.acc[u as usize];
+                if *slot == 0.0 {
+                    scratch.touched.push(u);
+                }
+                *slot += w;
+            }
+        }
+        scratch.touched.sort_unstable();
+        for &u in &scratch.touched {
+            scratch.pairs.push((u, scratch.acc[u as usize]));
+            scratch.acc[u as usize] = 0.0;
+        }
+        scratch.touched.clear();
+        &scratch.pairs
+    }
+
+    /// θ-adjusted bundle WTPs (`w_{u,b}`, Eq. 1) of the interested users.
+    pub fn bundle_wtps<'a>(&self, items: &[u32], scratch: &'a mut Scratch) -> &'a [f64] {
+        let size = items.len();
+        let theta_params = self.params;
+        // Split borrows: fill `values` from `pairs` computed first.
+        self.bundle_user_sums(items, scratch);
+        scratch.values.clear();
+        for k in 0..scratch.pairs.len() {
+            let sum = scratch.pairs[k].1;
+            scratch.values.push(theta_params.set_wtp(sum, size));
+        }
+        &scratch.values
+    }
+
+    /// Revenue-optimal pure-bundling price of a bundle (Eq. 2 + Eq. 5).
+    pub fn price_pure(&self, items: &[u32], scratch: &mut Scratch) -> PricedOutcome {
+        self.bundle_wtps(items, scratch);
+        pricing::optimize(&scratch.values, &self.pricing)
+    }
+
+    /// Convenience wrapper for a [`Bundle`].
+    pub fn price_bundle(&self, bundle: &Bundle, scratch: &mut Scratch) -> PricedOutcome {
+        self.price_pure(bundle.items(), scratch)
+    }
+
+    /// Outcome of selling `item` at its listed price (the "Amazon's
+    /// pricing" baseline of Table 2). `None` when the matrix has no listed
+    /// prices.
+    pub fn price_listed(&self, item: u32) -> Option<PricedOutcome> {
+        let price = self.wtp.listed_price(item)?;
+        let values: Vec<f64> = self.wtp.col(item).iter().map(|&(_, w)| w).collect();
+        Some(pricing::optimize_with_price_list(&values, &self.pricing, &[price]))
+    }
+
+    /// All unordered item pairs co-rated by at least one consumer — the
+    /// first-iteration pruning of Algorithm 1 ("we only consider pairs of
+    /// items for which at least one customer has non-zero willingness to
+    /// pay for both").
+    pub fn co_rated_pairs(&self) -> Vec<(u32, u32)> {
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..self.n_users() as u32 {
+            let row = self.wtp.row(u);
+            for (a_idx, &(i, _)) in row.iter().enumerate() {
+                for &(j, _) in &row[a_idx + 1..] {
+                    seen.insert((i, j));
+                }
+            }
+        }
+        let mut out: Vec<(u32, u32)> = seen.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Rater bitmap of a single item (users with positive WTP).
+    pub fn item_raters(&self, item: u32) -> revmax_fim::Bitmap {
+        let mut bm = revmax_fim::Bitmap::zeros(self.n_users());
+        for &(u, _) in self.wtp.col(item) {
+            bm.set(u as usize);
+        }
+        bm
+    }
+}
+
+/// Reusable buffers for bundle WTP aggregation; one per thread of work.
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    acc: Vec<f64>,
+    touched: Vec<u32>,
+    /// Last `bundle_user_sums` result.
+    pub pairs: Vec<(u32, f64)>,
+    /// Last `bundle_wtps` result.
+    pub values: Vec<f64>,
+}
+
+impl Scratch {
+    /// Buffers for a market of `n_users` consumers.
+    pub fn new(n_users: usize) -> Self {
+        Scratch {
+            acc: vec![0.0; n_users],
+            touched: Vec::new(),
+            pairs: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1's market (θ = −0.05).
+    pub(crate) fn table1() -> Market {
+        let w = WtpMatrix::from_rows(vec![
+            vec![12.0, 4.0],
+            vec![8.0, 2.0],
+            vec![5.0, 11.0],
+        ]);
+        Market::new(w, Params::default().with_theta(-0.05))
+    }
+
+    #[test]
+    fn bundle_user_sums_aggregates() {
+        let m = table1();
+        let mut s = m.scratch();
+        let sums = m.bundle_user_sums(&[0, 1], &mut s);
+        assert_eq!(sums, &[(0, 16.0), (1, 10.0), (2, 16.0)]);
+    }
+
+    #[test]
+    fn bundle_wtps_apply_theta_to_bundles_only() {
+        let m = table1();
+        let mut s = m.scratch();
+        let single = m.bundle_wtps(&[0], &mut s).to_vec();
+        assert_eq!(single, vec![12.0, 8.0, 5.0]);
+        let pair = m.bundle_wtps(&[0, 1], &mut s).to_vec();
+        // (16, 10, 16) × 0.95 = (15.2, 9.5, 15.2).
+        assert!((pair[0] - 15.2).abs() < 1e-12);
+        assert!((pair[1] - 9.5).abs() < 1e-12);
+        assert!((pair[2] - 15.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_component_and_bundle_revenues() {
+        let m = table1();
+        let mut s = m.scratch();
+        let a = m.price_pure(&[0], &mut s);
+        assert!((a.revenue - 16.0).abs() < 1e-9);
+        let b = m.price_pure(&[1], &mut s);
+        assert!((b.revenue - 11.0).abs() < 1e-9);
+        let ab = m.price_pure(&[0, 1], &mut s);
+        assert!((ab.price - 15.2).abs() < 1e-9);
+        assert!((ab.revenue - 30.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn co_rated_pairs_found() {
+        let m = table1();
+        // Every user rated both items.
+        assert_eq!(m.co_rated_pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let m = table1();
+        let mut s = m.scratch();
+        let first = m.bundle_user_sums(&[0], &mut s).to_vec();
+        let _ = m.bundle_user_sums(&[1], &mut s);
+        let again = m.bundle_user_sums(&[0], &mut s).to_vec();
+        assert_eq!(first, again, "scratch must reset between calls");
+    }
+
+    #[test]
+    fn item_raters_bitmap() {
+        let m = table1();
+        let bm = m.item_raters(0);
+        assert_eq!(bm.count(), 3);
+    }
+
+    #[test]
+    fn listed_price_requires_price_data() {
+        let m = table1();
+        assert!(m.price_listed(0).is_none());
+    }
+
+    #[test]
+    fn grid_pricing_mode_switch_changes_search() {
+        // Exact pricing hits $8 for item A; a 100-level grid over (0, 12]
+        // lands within one step of it but not exactly on 8.
+        let exact = table1();
+        let grid = table1().with_grid_pricing();
+        let mut s = exact.scratch();
+        let pe = exact.price_pure(&[0], &mut s);
+        let pg = grid.price_pure(&[0], &mut s);
+        assert!((pe.price - 8.0).abs() < 1e-12);
+        assert!(pg.revenue <= pe.revenue + 1e-12);
+        assert!(pg.revenue >= 0.95 * pe.revenue, "grid {} vs exact {}", pg.revenue, pe.revenue);
+    }
+
+    #[test]
+    fn empty_bundle_items_yield_zero() {
+        let m = table1();
+        let mut s = m.scratch();
+        let out = m.price_pure(&[], &mut s);
+        assert_eq!(out.revenue, 0.0);
+        assert_eq!(out.expected_buyers, 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Evaluation metrics (Section 6.1.2).
+
+/// Revenue coverage: the ratio of achieved revenue to the aggregate
+/// willingness to pay (the revenue upper bound). "The 'perfect' score would
+/// be 100%."
+pub fn revenue_coverage(revenue: f64, total_wtp: f64) -> f64 {
+    assert!(revenue >= 0.0, "revenue must be non-negative");
+    if total_wtp <= 0.0 {
+        return 0.0;
+    }
+    revenue / total_wtp
+}
+
+/// Revenue gain: the fractional gain over the `Components` baseline.
+/// "A good algorithm is expected to have positive gain."
+pub fn revenue_gain(revenue: f64, components_revenue: f64) -> f64 {
+    assert!(revenue >= 0.0, "revenue must be non-negative");
+    if components_revenue <= 0.0 {
+        return 0.0;
+    }
+    (revenue - components_revenue) / components_revenue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        // §6.1.2: revenue $11 of $20 total WTP → 55% coverage; $11 vs $10
+        // components → 10% gain.
+        assert!((revenue_coverage(11.0, 20.0) - 0.55).abs() < 1e-12);
+        assert!((revenue_gain(11.0, 10.0) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_denominators() {
+        assert_eq!(revenue_coverage(5.0, 0.0), 0.0);
+        assert_eq!(revenue_gain(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn negative_gain_is_possible() {
+        assert!(revenue_gain(9.0, 10.0) < 0.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Model parameters with the paper's defaults (Table 3).
+
+/// Maximum bundle size constraint `k` (Problem 1/2's size parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeCap {
+    /// No limit — the paper's default ("∞ (no size limit)").
+    Unlimited,
+    /// Bundles may contain at most this many items (`k ≥ 1`).
+    AtMost(usize),
+}
+
+impl SizeCap {
+    /// Can a bundle of `size` items exist under this cap?
+    pub fn allows(&self, size: usize) -> bool {
+        match *self {
+            SizeCap::Unlimited => true,
+            SizeCap::AtMost(k) => size <= k,
+        }
+    }
+
+    /// The numeric cap, if any.
+    pub fn limit(&self) -> Option<usize> {
+        match *self {
+            SizeCap::Unlimited => None,
+            SizeCap::AtMost(k) => Some(k),
+        }
+    }
+}
+
+/// All tunables of the framework, defaulted per Table 3 of the paper.
+///
+/// | notation | field | default |
+/// |----------|-------|---------|
+/// | λ  | `lambda` | 1.25 |
+/// | θ  | `theta` | 0 |
+/// | k  | `size_cap` | unlimited |
+/// | γ  | `gamma` | 10⁶ (step function) |
+/// | α  | `adoption_bias` | 1 (unbiased) |
+/// | ε  | `epsilon` | 10⁻⁶ |
+/// | T  | `price_levels` | 100 |
+///
+/// Note: the prose under Figure 4 says "we set α = 0" but Table 3 and the
+/// model (α multiplies WTP) make clear the default is α = 1; α = 0 would
+/// zero every consumer's effective WTP.
+///
+/// Two extension knobs beyond the paper's table: `objective_alpha` is the
+/// profit-vs-surplus weight of the §1 utility `α·profit + (1−α)·surplus`
+/// (the paper fixes it to 1 "without loss of generality"), and `unit_cost`
+/// is the per-unit variable cost (the paper assumes 0 for information
+/// goods).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Rating→WTP conversion factor λ (≥ 1).
+    pub lambda: f64,
+    /// Bundling coefficient θ (> -1): substitutes < 0 < complements.
+    pub theta: f64,
+    /// Maximum bundle size k.
+    pub size_cap: SizeCap,
+    /// Stochastic price sensitivity γ (> 0); ≥ `Params::STEP_GAMMA` is
+    /// treated as the deterministic step function.
+    pub gamma: f64,
+    /// Adoption bias α (> 0); multiplies WTP inside the sigmoid.
+    pub adoption_bias: f64,
+    /// Tie-break noise ε added to the sigmoid margin.
+    pub epsilon: f64,
+    /// Number of discretized price levels T.
+    pub price_levels: usize,
+    /// Weight of profit vs consumer surplus in the pricing objective.
+    pub objective_alpha: f64,
+    /// Per-unit variable cost subtracted from price in the profit term.
+    pub unit_cost: f64,
+}
+
+impl Params {
+    /// γ at or above this is treated as the exact step function.
+    pub const STEP_GAMMA: f64 = 1e5;
+
+    /// Paper defaults (Table 3).
+    pub fn paper_defaults() -> Self {
+        Params {
+            lambda: 1.25,
+            theta: 0.0,
+            size_cap: SizeCap::Unlimited,
+            gamma: 1e6,
+            adoption_bias: 1.0,
+            epsilon: 1e-6,
+            price_levels: 100,
+            objective_alpha: 1.0,
+            unit_cost: 0.0,
+        }
+    }
+
+    /// Validate invariants; called by [`crate::market::Market::new`].
+    pub fn validate(&self) {
+        assert!(self.lambda >= 1.0, "lambda must be >= 1, got {}", self.lambda);
+        assert!(self.theta > -1.0, "theta must be > -1, got {}", self.theta);
+        assert!(self.gamma > 0.0, "gamma must be positive, got {}", self.gamma);
+        assert!(self.adoption_bias > 0.0, "adoption bias must be positive");
+        assert!(self.epsilon >= 0.0, "epsilon must be non-negative");
+        assert!(self.price_levels >= 1, "at least one price level required");
+        assert!(
+            (0.0..=1.0).contains(&self.objective_alpha),
+            "objective alpha must be in [0,1], got {}",
+            self.objective_alpha
+        );
+        assert!(self.unit_cost >= 0.0, "unit cost must be non-negative");
+        if let SizeCap::AtMost(k) = self.size_cap {
+            assert!(k >= 1, "size cap must be >= 1");
+        }
+    }
+
+    /// Builder-style override for θ.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Builder-style override for γ.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Builder-style override for adoption bias α.
+    pub fn with_adoption_bias(mut self, alpha: f64) -> Self {
+        self.adoption_bias = alpha;
+        self
+    }
+
+    /// Builder-style override for the size cap k.
+    pub fn with_size_cap(mut self, cap: SizeCap) -> Self {
+        self.size_cap = cap;
+        self
+    }
+
+    /// Builder-style override for λ.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Builder-style override for the number of price levels T.
+    pub fn with_price_levels(mut self, t: usize) -> Self {
+        self.price_levels = t;
+        self
+    }
+
+    /// Builder-style override for the profit/surplus weight.
+    pub fn with_objective_alpha(mut self, a: f64) -> Self {
+        self.objective_alpha = a;
+        self
+    }
+
+    /// True when γ is in the deterministic step regime.
+    pub fn is_step(&self) -> bool {
+        self.gamma >= Self::STEP_GAMMA
+    }
+
+    /// WTP of a set of items given the raw per-item sum and the set size:
+    /// Eq. 1 applies θ only to genuine bundles, not singletons.
+    #[inline]
+    pub fn set_wtp(&self, raw_sum: f64, size: usize) -> f64 {
+        if size >= 2 {
+            (1.0 + self.theta) * raw_sum
+        } else {
+            raw_sum
+        }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table3() {
+        let p = Params::default();
+        assert_eq!(p.lambda, 1.25);
+        assert_eq!(p.theta, 0.0);
+        assert_eq!(p.size_cap, SizeCap::Unlimited);
+        assert_eq!(p.gamma, 1e6);
+        assert!(p.is_step());
+        assert_eq!(p.adoption_bias, 1.0);
+        assert_eq!(p.epsilon, 1e-6);
+        assert_eq!(p.price_levels, 100);
+        assert_eq!(p.objective_alpha, 1.0);
+        p.validate();
+    }
+
+    #[test]
+    fn size_cap_semantics() {
+        assert!(SizeCap::Unlimited.allows(1_000_000));
+        assert!(SizeCap::AtMost(3).allows(3));
+        assert!(!SizeCap::AtMost(3).allows(4));
+        assert_eq!(SizeCap::AtMost(2).limit(), Some(2));
+        assert_eq!(SizeCap::Unlimited.limit(), None);
+    }
+
+    #[test]
+    fn theta_only_hits_real_bundles() {
+        let p = Params::default().with_theta(-0.05);
+        assert_eq!(p.set_wtp(10.0, 1), 10.0);
+        assert!((p.set_wtp(16.0, 2) - 15.2).abs() < 1e-12); // Table 1's u1
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn rejects_theta_at_minus_one() {
+        Params::default().with_theta(-1.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_zero_gamma() {
+        Params::default().with_gamma(0.0).validate();
+    }
+}

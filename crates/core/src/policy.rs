@@ -1,0 +1,246 @@
+//! Alternative consumer-choice policies for mixed bundling.
+//!
+//! The paper uses three different readings of "which offer does a consumer
+//! buy from a mixed menu" in different places; this module implements all
+//! three so they can be compared explicitly (the Table 1 bench does):
+//!
+//! * [`ChoicePolicy::IncrementalUpgrade`] — §4.2's rule and this crate's
+//!   default everywhere: decisions follow the merge order; a holder of
+//!   `H ⊂ b` upgrades iff the implicit price of the add-on does not exceed
+//!   the add-on's WTP. Implemented in [`crate::mixed`].
+//! * [`ChoicePolicy::NaiveAffordable`] — the intro/Table 1 reading: a
+//!   consumer buys an offer whenever her WTP covers its price, preferring
+//!   the largest (topmost) affordable offer. Over-sells relative to
+//!   rational behaviour; kept for reproducing Table 1's $38.40.
+//! * [`ChoicePolicy::SurplusMax`] — the Adams–Yellen textbook rule: each
+//!   consumer picks the feasible combination of disjoint offers maximizing
+//!   her total surplus `Σ (w − p)` (ties broken toward the bundle). On an
+//!   offer tree this is a simple bottom-up dynamic program.
+//!
+//! All three coincide for pure bundling (a single offer per tree).
+
+use crate::config::OfferNode;
+use crate::market::{Market, Scratch};
+
+/// Consumer-choice rule for evaluating a mixed offer tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChoicePolicy {
+    /// The paper's §4.2 incremental upgrade policy (default).
+    #[default]
+    IncrementalUpgrade,
+    /// Buy the largest affordable offer (intro/Table-1 reading).
+    NaiveAffordable,
+    /// Adams–Yellen surplus-maximizing choice.
+    SurplusMax,
+}
+
+/// Evaluate one offer tree under a policy (deterministic step adoption).
+/// For [`ChoicePolicy::IncrementalUpgrade`] this delegates to
+/// [`crate::mixed::evaluate_tree_deterministic`].
+pub fn evaluate_tree(
+    market: &Market,
+    root: &OfferNode,
+    scratch: &mut Scratch,
+    policy: ChoicePolicy,
+) -> f64 {
+    match policy {
+        ChoicePolicy::IncrementalUpgrade => {
+            crate::mixed::evaluate_tree_deterministic(market, root, scratch)
+        }
+        ChoicePolicy::NaiveAffordable => naive_affordable(market, root, scratch),
+        ChoicePolicy::SurplusMax => surplus_max(market, root, scratch),
+    }
+}
+
+/// Flattened per-node WTP view of a tree: for every node, the θ-adjusted
+/// bundle WTP of each interested user (sorted by user id).
+struct NodeWtps {
+    /// Preorder-flattened nodes: (price, children indices).
+    prices: Vec<f64>,
+    children: Vec<Vec<usize>>,
+    /// Per node: (user, w_{u,b}) sorted by user.
+    wtps: Vec<Vec<(u32, f64)>>,
+}
+
+fn flatten(market: &Market, root: &OfferNode, scratch: &mut Scratch) -> NodeWtps {
+    let mut out = NodeWtps { prices: Vec::new(), children: Vec::new(), wtps: Vec::new() };
+    fn rec(market: &Market, node: &OfferNode, scratch: &mut Scratch, out: &mut NodeWtps) -> usize {
+        let idx = out.prices.len();
+        out.prices.push(node.price);
+        out.children.push(Vec::new());
+        let size = node.bundle.len();
+        let params = *market.params();
+        let wtps: Vec<(u32, f64)> = market
+            .bundle_user_sums(node.bundle.items(), scratch)
+            .iter()
+            .map(|&(u, s)| (u, params.set_wtp(s, size)))
+            .collect();
+        out.wtps.push(wtps);
+        let mut kids = Vec::with_capacity(node.children.len());
+        for c in &node.children {
+            kids.push(rec(market, c, scratch, out));
+        }
+        out.children[idx] = kids;
+        idx
+    }
+    rec(market, root, scratch, &mut out);
+    out
+}
+
+/// WTP of `user` for node `idx` (0 when the user has no interest).
+fn wtp_of(nw: &NodeWtps, idx: usize, user: u32) -> f64 {
+    nw.wtps[idx]
+        .binary_search_by_key(&user, |e| e.0)
+        .map(|k| nw.wtps[idx][k].1)
+        .unwrap_or(0.0)
+}
+
+fn naive_affordable(market: &Market, root: &OfferNode, scratch: &mut Scratch) -> f64 {
+    let adoption = market.pricing_ctx().adoption;
+    let nw = flatten(market, root, scratch);
+    let mut revenue = 0.0;
+    for &(user, _) in &nw.wtps[0] {
+        // Walk top-down; buy the first affordable offer on each branch.
+        let mut stack = vec![0usize];
+        while let Some(idx) = stack.pop() {
+            let w = wtp_of(&nw, idx, user);
+            if adoption.margin(w, nw.prices[idx]) >= 0.0 && nw.prices[idx] > 0.0 {
+                revenue += nw.prices[idx];
+            } else {
+                stack.extend(nw.children[idx].iter());
+            }
+        }
+    }
+    revenue
+}
+
+fn surplus_max(market: &Market, root: &OfferNode, scratch: &mut Scratch) -> f64 {
+    let nw = flatten(market, root, scratch);
+    let mut revenue = 0.0;
+    for &(user, _) in &nw.wtps[0] {
+        revenue += best_choice(&nw, 0, user).1;
+    }
+    revenue
+}
+
+/// Bottom-up DP: best (surplus, seller revenue) for `user` within the
+/// subtree of `idx`. Buying nothing is always available (0, 0); ties
+/// between "buy here" and "compose from children" go to the bundle
+/// (Adams–Yellen convention).
+fn best_choice(nw: &NodeWtps, idx: usize, user: u32) -> (f64, f64) {
+    let w = wtp_of(nw, idx, user);
+    let here_surplus = w - nw.prices[idx];
+    let here = if here_surplus >= 0.0 { (here_surplus, nw.prices[idx]) } else { (0.0, 0.0) };
+    let mut compose = (0.0, 0.0);
+    for &c in &nw.children[idx] {
+        let (s, r) = best_choice(nw, c, user);
+        compose.0 += s;
+        compose.1 += r;
+    }
+    // Prefer the bundle on surplus ties iff it actually buys something.
+    if here_surplus >= 0.0 && here.0 >= compose.0 {
+        here
+    } else if compose.1 > 0.0 {
+        compose
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::Bundle;
+    use crate::params::Params;
+    use crate::wtp::WtpMatrix;
+
+    /// Table 1's market (θ = −0.05).
+    fn market() -> Market {
+        let w = WtpMatrix::from_rows(vec![
+            vec![12.0, 4.0],
+            vec![8.0, 2.0],
+            vec![5.0, 11.0],
+        ]);
+        Market::new(w, Params::default().with_theta(-0.05))
+    }
+
+    /// The paper's Table 1 mixed menu: pA=8, pB=11, pAB=15.20.
+    fn paper_menu() -> OfferNode {
+        OfferNode {
+            bundle: Bundle::new(vec![0, 1]),
+            price: 15.2,
+            children: vec![
+                OfferNode::leaf(Bundle::single(0), 8.0),
+                OfferNode::leaf(Bundle::single(1), 11.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn naive_reproduces_table1s_38_40() {
+        let m = market();
+        let mut s = m.scratch();
+        let rev = evaluate_tree(&m, &paper_menu(), &mut s, ChoicePolicy::NaiveAffordable);
+        // u1 affords the bundle (15.2), u2 only A (8), u3 the bundle (15.2).
+        assert!((rev - 38.4).abs() < 1e-9, "revenue {rev}");
+    }
+
+    #[test]
+    fn surplus_max_is_rational() {
+        let m = market();
+        let mut s = m.scratch();
+        let rev = evaluate_tree(&m, &paper_menu(), &mut s, ChoicePolicy::SurplusMax);
+        // u1: surplus(A)=4 beats bundle's 0 → 8; u2: A at 0 surplus → 8;
+        // u3: B and bundle tie at surplus 0 → bundle (A-Y tie rule) → 15.2.
+        assert!((rev - 31.2).abs() < 1e-9, "revenue {rev}");
+    }
+
+    #[test]
+    fn incremental_agrees_with_mixed_module() {
+        let m = market();
+        let mut s = m.scratch();
+        let a = evaluate_tree(&m, &paper_menu(), &mut s, ChoicePolicy::IncrementalUpgrade);
+        let b = crate::mixed::evaluate_tree_deterministic(&m, &paper_menu(), &mut s);
+        assert_eq!(a, b);
+        // For this menu the incremental rule coincides with surplus-max.
+        assert!((a - 31.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policies_coincide_on_pure_offers() {
+        let m = market();
+        let mut s = m.scratch();
+        let node = OfferNode::leaf(Bundle::new(vec![0, 1]), 15.2);
+        let vals: Vec<f64> = [
+            ChoicePolicy::IncrementalUpgrade,
+            ChoicePolicy::NaiveAffordable,
+            ChoicePolicy::SurplusMax,
+        ]
+        .into_iter()
+        .map(|p| evaluate_tree(&m, &node, &mut s, p))
+        .collect();
+        assert!((vals[0] - 30.4).abs() < 1e-9);
+        assert!((vals[1] - vals[0]).abs() < 1e-9);
+        assert!((vals[2] - vals[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn naive_never_undersells_surplus_max() {
+        // Naive ignores rational substitution, so it can only oversell.
+        let m = market();
+        let mut s = m.scratch();
+        for price in [12.0, 13.5, 15.2, 18.0] {
+            let menu = OfferNode {
+                bundle: Bundle::new(vec![0, 1]),
+                price,
+                children: vec![
+                    OfferNode::leaf(Bundle::single(0), 8.0),
+                    OfferNode::leaf(Bundle::single(1), 11.0),
+                ],
+            };
+            let naive = evaluate_tree(&m, &menu, &mut s, ChoicePolicy::NaiveAffordable);
+            let rational = evaluate_tree(&m, &menu, &mut s, ChoicePolicy::SurplusMax);
+            assert!(naive >= rational - 1e-9, "price {price}: {naive} < {rational}");
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! The weighted-set-packing comparators of Sections 5.2 / 6.4: `Optimal`
+//! (enumerate all `2^N − 1` bundles, solve packing exactly) and
+//! `Greedy WSP` (the `√N`-approximation). Pure bundling only — "the
+//! reduction to weighted set packing is only defined for pure bundling".
+//!
+//! Enumeration notes: only consumers with positive WTP on at least one of
+//! the `N` items can ever affect a bundle's revenue, so the per-subset
+//! pricing loops run over that (much smaller) consumer subset. This is a
+//! pure optimization — revenues are identical — and is what makes the
+//! paper's `N = 25` protocol tractable without their 70 GB machine.
+
+use crate::bundle::Bundle;
+use crate::config::{BundleConfig, OfferNode, Outcome, Strategy};
+use crate::market::Market;
+use crate::pricing::{self, PricingCtx};
+use crate::trace::IterationTrace;
+use std::time::{Duration, Instant};
+
+/// Revenues of every nonempty subset of the market's items
+/// (`table[mask]`, `table[0] = 0`), plus the matching optimal prices.
+#[derive(Debug, Clone)]
+pub struct SubsetRevenues {
+    pub n_items: usize,
+    pub revenue: Vec<f64>,
+    pub price: Vec<f64>,
+    /// Wall time spent enumerating (the paper reports this separately:
+    /// "the enumeration and revenue computation ... require 0.8 seconds for
+    /// 10 items ... 15 hours for 25 items").
+    pub enumeration_time: Duration,
+}
+
+/// Enumerate all `2^N − 1` candidate bundles and price each one. Panics if
+/// `N > 26` (the table would not fit in memory).
+pub fn enumerate_subset_revenues(market: &Market) -> SubsetRevenues {
+    let n = market.n_items();
+    assert!(n <= 26, "subset enumeration limited to 26 items, got {n}");
+    let start = Instant::now();
+    let full = 1usize << n;
+
+    // Consumers with any interest in these items, with dense re-indexing.
+    let mut relevant: Vec<u32> = Vec::new();
+    {
+        let mut seen = vec![false; market.n_users()];
+        for i in 0..n as u32 {
+            for &(u, _) in market.wtp().col(i) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    relevant.push(u);
+                }
+            }
+        }
+        relevant.sort_unstable();
+    }
+    let uidx: std::collections::HashMap<u32, usize> =
+        relevant.iter().enumerate().map(|(k, &u)| (u, k)).collect();
+    // Dense per-item columns over the relevant consumers.
+    let cols: Vec<Vec<(usize, f64)>> = (0..n as u32)
+        .map(|i| market.wtp().col(i).iter().map(|&(u, w)| (uidx[&u], w)).collect())
+        .collect();
+
+    let params = *market.params();
+    let ctx: PricingCtx = *market.pricing_ctx();
+    let m_rel = relevant.len();
+    let mut revenue = vec![0.0f64; full];
+    let mut price = vec![0.0f64; full];
+    // DFS over the subset lattice, maintaining per-consumer raw sums
+    // incrementally: visit masks in an order where consecutive states
+    // differ by one item (standard Gray-style recursion).
+    let mut sums = vec![0.0f64; m_rel];
+    let mut values: Vec<f64> = Vec::with_capacity(m_rel);
+    let mut mask = 0usize;
+    // DFS over the subset lattice: at depth `item` branch on item
+    // excluded/included, maintaining the per-consumer sums incrementally.
+    fn rec(
+        item: usize,
+        n: usize,
+        mask: &mut usize,
+        sums: &mut [f64],
+        values: &mut Vec<f64>,
+        cols: &[Vec<(usize, f64)>],
+        params: &crate::params::Params,
+        ctx: &PricingCtx,
+        revenue: &mut [f64],
+        price: &mut [f64],
+    ) {
+        if item == n {
+            if *mask != 0 {
+                let size = mask.count_ones() as usize;
+                values.clear();
+                for &s in sums.iter() {
+                    if s > 0.0 {
+                        values.push(params.set_wtp(s, size));
+                    }
+                }
+                let out = pricing::optimize(values, ctx);
+                revenue[*mask] = out.revenue;
+                price[*mask] = out.price;
+            }
+            return;
+        }
+        // Exclude `item`.
+        rec(item + 1, n, mask, sums, values, cols, params, ctx, revenue, price);
+        // Include `item`. The undo log restores previous values bitwise —
+        // `sums[u] -= w` would leave 1-ulp drift, and ratings-derived WTPs
+        // sit exactly on grid-level boundaries, where any drift flips a
+        // buyer across a price level.
+        *mask |= 1 << item;
+        let undo: Vec<f64> = cols[item].iter().map(|&(u, _)| sums[u]).collect();
+        for &(u, w) in &cols[item] {
+            sums[u] += w;
+        }
+        rec(item + 1, n, mask, sums, values, cols, params, ctx, revenue, price);
+        for (&(u, _), &old) in cols[item].iter().zip(&undo) {
+            sums[u] = old;
+        }
+        *mask &= !(1 << item);
+    }
+    rec(0, n, &mut mask, &mut sums, &mut values, &cols, &params, &ctx, &mut revenue, &mut price);
+
+    SubsetRevenues { n_items: n, revenue, price, enumeration_time: start.elapsed() }
+}
+
+/// Build an [`Outcome`] from chosen subset masks.
+fn outcome_from_masks(
+    name: &'static str,
+    market: &Market,
+    table: &SubsetRevenues,
+    masks: &[u32],
+    solve_time: Duration,
+) -> Outcome {
+    let mut roots = Vec::new();
+    let mut revenue = 0.0;
+    let mut covered = 0u32;
+    for &m in masks {
+        let items: Vec<u32> = (0..table.n_items as u32).filter(|&i| m & (1 << i) != 0).collect();
+        roots.push(OfferNode::leaf(Bundle::new(items), table.price[m as usize]));
+        revenue += table.revenue[m as usize];
+        covered |= m;
+    }
+    // Packing may leave worthless items unsold; configurations must still
+    // cover them (condition 1 of Problem 1), so list them at price 0...
+    // except a zero-revenue singleton keeps its (meaningless) price anyway.
+    for i in 0..table.n_items as u32 {
+        if covered & (1 << i) == 0 {
+            let m = 1u32 << i;
+            roots.push(OfferNode::leaf(Bundle::single(i), table.price[m as usize]));
+            revenue += table.revenue[m as usize];
+        }
+    }
+    let components_revenue: f64 =
+        (0..table.n_items).map(|i| table.revenue[1usize << i]).sum();
+    let mut trace = IterationTrace::new();
+    trace.push(revenue, solve_time, roots.len());
+    let config = BundleConfig { strategy: Strategy::Pure, roots };
+    debug_assert!({
+        config.validate(table.n_items);
+        true
+    });
+    Outcome::assemble(name, config, revenue, components_revenue, market, trace)
+}
+
+/// `Optimal`: exact pure-bundling configuration via the subset DP over the
+/// enumerated revenue table (the role Gurobi plays in the paper).
+pub fn optimal(market: &Market, table: &SubsetRevenues) -> Outcome {
+    let start = Instant::now();
+    let dp = revmax_ilp::subset_dp::solve_all_subsets(table.n_items, &table.revenue);
+    outcome_from_masks("Optimal", market, table, &dp.chosen, start.elapsed())
+}
+
+/// `Greedy WSP`: the √N-approximate packing, selecting by the norm-scaled
+/// score `w/√|S|` (the rule that actually carries the paper's cited √N
+/// guarantee — see `revmax_ilp::greedy` for why "average weight per item"
+/// does not).
+pub fn greedy_wsp(market: &Market, table: &SubsetRevenues) -> Outcome {
+    let start = Instant::now();
+    let n = table.n_items;
+    // Sort subset ids by score descending. (Materializing 2^N ids is the
+    // dominant memory cost; fine for N ≤ 26.)
+    let mut order: Vec<u32> = (1..(1u32 << n)).collect();
+    order.sort_by(|&a, &b| {
+        let da = table.revenue[a as usize] / (a.count_ones() as f64).sqrt();
+        let db = table.revenue[b as usize] / (b.count_ones() as f64).sqrt();
+        db.partial_cmp(&da).unwrap().then(a.cmp(&b))
+    });
+    let mut covered = 0u32;
+    let mut chosen = Vec::new();
+    for s in order {
+        if table.revenue[s as usize] <= 0.0 {
+            break;
+        }
+        if covered & s == 0 {
+            covered |= s;
+            chosen.push(s);
+            if covered == (1u32 << n) - 1 {
+                break;
+            }
+        }
+    }
+    outcome_from_masks("Greedy WSP", market, table, &chosen, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Components, Configurator, PureGreedy, PureMatching};
+    use crate::params::Params;
+    use crate::wtp::WtpMatrix;
+
+    fn market() -> Market {
+        let w = WtpMatrix::from_rows(vec![
+            vec![12.0, 4.0, 0.0],
+            vec![8.0, 2.0, 3.0],
+            vec![5.0, 11.0, 7.0],
+            vec![0.0, 6.0, 9.0],
+        ]);
+        Market::new(w, Params::default())
+    }
+
+    #[test]
+    fn enumeration_matches_direct_pricing() {
+        let m = market();
+        let t = enumerate_subset_revenues(&m);
+        let mut s = m.scratch();
+        for mask in 1u32..(1 << 3) {
+            let items: Vec<u32> = (0..3).filter(|&i| mask & (1 << i) != 0).collect();
+            let direct = m.price_pure(&items, &mut s);
+            assert!(
+                (t.revenue[mask as usize] - direct.revenue).abs() < 1e-9,
+                "mask {mask}: {} vs {}",
+                t.revenue[mask as usize],
+                direct.revenue
+            );
+            assert!((t.price[mask as usize] - direct.price).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn optimal_at_least_as_good_as_heuristics() {
+        let m = market();
+        let t = enumerate_subset_revenues(&m);
+        let opt = optimal(&m, &t);
+        let gw = greedy_wsp(&m, &t);
+        let pm = PureMatching::default().run(&m);
+        let pg = PureGreedy::default().run(&m);
+        let c = Components::optimal().run(&m);
+        assert!(opt.revenue >= gw.revenue - 1e-9);
+        assert!(opt.revenue >= pm.revenue - 1e-9);
+        assert!(opt.revenue >= pg.revenue - 1e-9);
+        assert!(opt.revenue >= c.revenue - 1e-9);
+        opt.config.validate(3);
+        gw.config.validate(3);
+        // √N bound for the greedy.
+        assert!(gw.revenue + 1e-9 >= opt.revenue / 3f64.sqrt());
+    }
+
+    #[test]
+    fn enumeration_respects_theta() {
+        // θ > 0 inflates multi-item subsets only; the singles row of the
+        // table must be unchanged while pairs grow.
+        let build = |theta: f64| {
+            let w = WtpMatrix::from_rows(vec![
+                vec![6.0, 4.0],
+                vec![3.0, 7.0],
+            ]);
+            Market::new(w, Params::default().with_theta(theta))
+        };
+        let t0 = enumerate_subset_revenues(&build(0.0));
+        let tp = enumerate_subset_revenues(&build(0.2));
+        assert_eq!(t0.revenue[0b01], tp.revenue[0b01]);
+        assert_eq!(t0.revenue[0b10], tp.revenue[0b10]);
+        assert!(tp.revenue[0b11] > t0.revenue[0b11]);
+    }
+
+    #[test]
+    fn greedy_wsp_covers_all_items() {
+        let m = market();
+        let t = enumerate_subset_revenues(&m);
+        let gw = greedy_wsp(&m, &t);
+        gw.config.validate(3);
+        let covered: usize = gw.config.roots.iter().map(|r| r.bundle.len()).sum();
+        assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn enumeration_time_is_recorded() {
+        let m = market();
+        let t = enumerate_subset_revenues(&m);
+        assert!(t.enumeration_time > Duration::ZERO);
+        assert_eq!(t.revenue.len(), 8);
+        assert_eq!(t.revenue[0], 0.0);
+    }
+
+    #[test]
+    fn k2_matching_equals_optimal_when_optimal_pairs() {
+        // With size cap 2, PureMatching is provably optimal (Section 5.1);
+        // cross-check against the DP restricted to sizes ≤ 2.
+        use crate::params::SizeCap;
+        let w = WtpMatrix::from_rows(vec![
+            vec![12.0, 4.0, 0.0],
+            vec![8.0, 2.0, 3.0],
+            vec![5.0, 11.0, 7.0],
+            vec![0.0, 6.0, 9.0],
+        ]);
+        let m = Market::new(w, Params::default().with_size_cap(SizeCap::AtMost(2)));
+        let t = enumerate_subset_revenues(&m);
+        // Zero out revenues of subsets larger than 2 for the capped DP.
+        let mut capped = t.revenue.clone();
+        for mask in 1usize..capped.len() {
+            if (mask as u32).count_ones() > 2 {
+                capped[mask] = 0.0;
+            }
+        }
+        let dp = revmax_ilp::subset_dp::solve_all_subsets(3, &capped);
+        let pm = PureMatching::default().run(&m);
+        assert!(
+            (dp.total_weight - pm.revenue).abs() < 1e-9,
+            "2-sized optimal {} vs matching {}",
+            dp.total_weight,
+            pm.revenue
+        );
+    }
+}

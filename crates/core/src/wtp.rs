@@ -1,0 +1,198 @@
+//! The willingness-to-pay matrix `W` and the ratings→WTP conversion.
+
+/// Sparse `M × N` willingness-to-pay matrix. Zero entries (consumer has no
+/// interest in the item) are not stored; both row (per-user) and column
+/// (per-item) views are kept because the algorithms need both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WtpMatrix {
+    n_users: usize,
+    n_items: usize,
+    /// Per item: (user, wtp) with wtp > 0, sorted by user.
+    cols: Vec<Vec<(u32, f64)>>,
+    /// Per user: (item, wtp) with wtp > 0, sorted by item.
+    rows: Vec<Vec<(u32, f64)>>,
+    /// Σ of all entries — the upper bound of revenue and the denominator of
+    /// the revenue-coverage metric (§6.1.2).
+    total_wtp: f64,
+    /// Listed per-item prices when constructed from ratings data (used by
+    /// the "Amazon's pricing" baseline of Table 2).
+    listed_prices: Option<Vec<f64>>,
+}
+
+impl WtpMatrix {
+    /// Build from dense rows (`rows[u][i] = w_{u,i}`); all rows must share
+    /// one length. Entries must be finite and ≥ 0; zeros are dropped.
+    pub fn from_rows(dense: Vec<Vec<f64>>) -> Self {
+        let n_users = dense.len();
+        let n_items = dense.first().map_or(0, Vec::len);
+        let mut triples = Vec::new();
+        for (u, row) in dense.iter().enumerate() {
+            assert_eq!(row.len(), n_items, "ragged WTP rows");
+            for (i, &w) in row.iter().enumerate() {
+                assert!(w.is_finite() && w >= 0.0, "WTP must be finite and >= 0, got {w}");
+                if w > 0.0 {
+                    triples.push((u as u32, i as u32, w));
+                }
+            }
+        }
+        Self::from_triples(n_users, n_items, triples, None)
+    }
+
+    /// Build from sparse `(user, item, wtp)` triples.
+    pub fn from_triples(
+        n_users: usize,
+        n_items: usize,
+        triples: Vec<(u32, u32, f64)>,
+        listed_prices: Option<Vec<f64>>,
+    ) -> Self {
+        if let Some(p) = &listed_prices {
+            assert_eq!(p.len(), n_items, "one listed price per item");
+        }
+        let mut cols = vec![Vec::new(); n_items];
+        let mut rows = vec![Vec::new(); n_users];
+        let mut total = 0.0;
+        for (u, i, w) in triples {
+            assert!((u as usize) < n_users, "user {u} out of range");
+            assert!((i as usize) < n_items, "item {i} out of range");
+            assert!(w.is_finite() && w > 0.0, "sparse WTP entries must be positive, got {w}");
+            cols[i as usize].push((u, w));
+            rows[u as usize].push((i, w));
+            total += w;
+        }
+        for col in &mut cols {
+            col.sort_unstable_by_key(|e| e.0);
+            assert!(col.windows(2).all(|w| w[0].0 != w[1].0), "duplicate (user,item) entry");
+        }
+        for row in &mut rows {
+            row.sort_unstable_by_key(|e| e.0);
+        }
+        WtpMatrix { n_users, n_items, cols, rows, total_wtp: total, listed_prices }
+    }
+
+    /// The paper's ratings→WTP map (§6.1.1): a consumer who rated `r` stars
+    /// (of `r_max = 5`) an item listed at price `p` is willing to pay
+    /// `(r / r_max) · λ · p`.
+    ///
+    /// `ratings` yields `(user, item, stars 1..=5)`.
+    pub fn from_ratings(
+        n_users: usize,
+        n_items: usize,
+        ratings: impl IntoIterator<Item = (u32, u32, u8)>,
+        prices: &[f64],
+        lambda: f64,
+    ) -> Self {
+        assert_eq!(prices.len(), n_items, "one listed price per item");
+        assert!(lambda >= 1.0, "lambda must be >= 1");
+        const R_MAX: f64 = 5.0;
+        let triples: Vec<(u32, u32, f64)> = ratings
+            .into_iter()
+            .map(|(u, i, stars)| {
+                assert!((1..=5).contains(&stars), "stars {stars} out of 1..=5");
+                let w = (stars as f64 / R_MAX) * lambda * prices[i as usize];
+                (u, i, w)
+            })
+            .collect();
+        Self::from_triples(n_users, n_items, triples, Some(prices.to_vec()))
+    }
+
+    /// Number of consumers `M`.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of items `N`.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Non-zero entries of item `i`'s column, sorted by user.
+    pub fn col(&self, item: u32) -> &[(u32, f64)] {
+        &self.cols[item as usize]
+    }
+
+    /// Non-zero entries of user `u`'s row, sorted by item.
+    pub fn row(&self, user: u32) -> &[(u32, f64)] {
+        &self.rows[user as usize]
+    }
+
+    /// Σ of all WTP entries (the coverage denominator).
+    pub fn total_wtp(&self) -> f64 {
+        self.total_wtp
+    }
+
+    /// Listed price of an item, if the matrix came from ratings data.
+    pub fn listed_price(&self, item: u32) -> Option<f64> {
+        self.listed_prices.as_ref().map(|p| p[item as usize])
+    }
+
+    /// A single entry (zero if not stored).
+    pub fn get(&self, user: u32, item: u32) -> f64 {
+        self.cols[item as usize]
+            .binary_search_by_key(&user, |e| e.0)
+            .map(|k| self.cols[item as usize][k].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.cols.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_basic() {
+        let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
+        assert_eq!(w.n_users(), 3);
+        assert_eq!(w.n_items(), 2);
+        assert_eq!(w.get(0, 0), 12.0);
+        assert_eq!(w.get(2, 1), 11.0);
+        assert_eq!(w.total_wtp(), 42.0);
+        assert_eq!(w.nnz(), 6);
+        assert_eq!(w.col(0).len(), 3);
+        assert_eq!(w.row(1), &[(0, 8.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn zeros_are_dropped() {
+        let w = WtpMatrix::from_rows(vec![vec![0.0, 3.0]]);
+        assert_eq!(w.nnz(), 1);
+        assert_eq!(w.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn ratings_conversion_matches_paper_example() {
+        // λ=1.25, price $10: stars 5,4,3,2,1 → 12.50, 10, 7.50, 5, 2.50.
+        let prices = vec![10.0];
+        let ratings = vec![(0u32, 0u32, 5u8), (1, 0, 4), (2, 0, 3), (3, 0, 2), (4, 0, 1)];
+        let w = WtpMatrix::from_ratings(5, 1, ratings, &prices, 1.25);
+        assert!((w.get(0, 0) - 12.5).abs() < 1e-12);
+        assert!((w.get(1, 0) - 10.0).abs() < 1e-12);
+        assert!((w.get(2, 0) - 7.5).abs() < 1e-12);
+        assert!((w.get(3, 0) - 5.0).abs() < 1e-12);
+        assert!((w.get(4, 0) - 2.5).abs() < 1e-12);
+        assert_eq!(w.listed_price(0), Some(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_entries() {
+        WtpMatrix::from_triples(1, 1, vec![(0, 0, 1.0), (0, 0, 2.0)], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        WtpMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let w = WtpMatrix::from_rows(vec![]);
+        assert_eq!(w.n_users(), 0);
+        assert_eq!(w.total_wtp(), 0.0);
+    }
+}

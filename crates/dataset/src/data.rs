@@ -1,0 +1,236 @@
+//! Core data types: ratings, prices, and summary statistics.
+
+/// One star rating: user `u` rated item `i` with `stars` in 1..=5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rating {
+    pub user: u32,
+    pub item: u32,
+    pub stars: u8,
+}
+
+/// A ratings dataset with per-item listed prices.
+///
+/// Invariants (enforced by [`RatingsData::new`]): user/item ids are dense in
+/// `0..n_users` / `0..n_items`, stars are in 1..=5, prices are finite and
+/// positive with one entry per item, and (user, item) pairs are unique.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatingsData {
+    n_users: usize,
+    n_items: usize,
+    ratings: Vec<Rating>,
+    prices: Vec<f64>,
+}
+
+impl RatingsData {
+    /// Construct and validate. Ratings are sorted (user, item) for
+    /// determinism. Panics on any invariant violation.
+    pub fn new(n_users: usize, n_items: usize, mut ratings: Vec<Rating>, prices: Vec<f64>) -> Self {
+        assert_eq!(prices.len(), n_items, "one price per item required");
+        for &p in &prices {
+            assert!(p.is_finite() && p > 0.0, "prices must be positive and finite, got {p}");
+        }
+        for r in &ratings {
+            assert!((r.user as usize) < n_users, "user {} out of range", r.user);
+            assert!((r.item as usize) < n_items, "item {} out of range", r.item);
+            assert!((1..=5).contains(&r.stars), "stars {} out of 1..=5", r.stars);
+        }
+        ratings.sort_by_key(|r| (r.user, r.item));
+        for w in ratings.windows(2) {
+            assert!(
+                (w[0].user, w[0].item) != (w[1].user, w[1].item),
+                "duplicate rating for (user {}, item {})",
+                w[0].user,
+                w[0].item
+            );
+        }
+        RatingsData { n_users, n_items, ratings, prices }
+    }
+
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// All ratings, sorted by (user, item).
+    pub fn ratings(&self) -> &[Rating] {
+        &self.ratings
+    }
+
+    /// Listed price of each item.
+    pub fn prices(&self) -> &[f64] {
+        &self.prices
+    }
+
+    /// Listed price of one item.
+    pub fn price(&self, item: u32) -> f64 {
+        self.prices[item as usize]
+    }
+
+    /// Per-user item lists (the "transactions" view used by the frequent
+    /// itemset baselines).
+    pub fn user_items(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.n_users];
+        for r in &self.ratings {
+            out[r.user as usize].push(r.item);
+        }
+        out
+    }
+
+    /// Summary statistics (used to validate the generator against the
+    /// paper's published marginals).
+    pub fn summary(&self) -> DatasetSummary {
+        let mut star_hist = [0usize; 5];
+        let mut user_deg = vec![0usize; self.n_users];
+        let mut item_deg = vec![0usize; self.n_items];
+        for r in &self.ratings {
+            star_hist[(r.stars - 1) as usize] += 1;
+            user_deg[r.user as usize] += 1;
+            item_deg[r.item as usize] += 1;
+        }
+        let price_hist = {
+            let mut h = [0usize; 3];
+            for &p in &self.prices {
+                if p < 10.0 {
+                    h[0] += 1;
+                } else if p <= 20.0 {
+                    h[1] += 1;
+                } else {
+                    h[2] += 1;
+                }
+            }
+            h
+        };
+        DatasetSummary {
+            n_users: self.n_users,
+            n_items: self.n_items,
+            n_ratings: self.ratings.len(),
+            star_hist,
+            price_hist,
+            min_user_degree: user_deg.iter().copied().min().unwrap_or(0),
+            min_item_degree: item_deg.iter().copied().min().unwrap_or(0),
+            mean_user_degree: self.ratings.len() as f64 / self.n_users.max(1) as f64,
+            mean_item_degree: self.ratings.len() as f64 / self.n_items.max(1) as f64,
+        }
+    }
+}
+
+/// Aggregate statistics of a [`RatingsData`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    pub n_users: usize,
+    pub n_items: usize,
+    pub n_ratings: usize,
+    /// Counts of 1..5 star ratings.
+    pub star_hist: [usize; 5],
+    /// Item counts by price bucket: `< $10`, `$10–20`, `> $20`.
+    pub price_hist: [usize; 3],
+    pub min_user_degree: usize,
+    pub min_item_degree: usize,
+    pub mean_user_degree: f64,
+    pub mean_item_degree: f64,
+}
+
+impl DatasetSummary {
+    /// Star histogram as fractions.
+    pub fn star_fractions(&self) -> [f64; 5] {
+        let n = self.n_ratings.max(1) as f64;
+        std::array::from_fn(|k| self.star_hist[k] as f64 / n)
+    }
+
+    /// Price histogram as fractions.
+    pub fn price_fractions(&self) -> [f64; 3] {
+        let n = self.n_items.max(1) as f64;
+        std::array::from_fn(|k| self.price_hist[k] as f64 / n)
+    }
+}
+
+impl std::fmt::Display for DatasetSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sf = self.star_fractions();
+        let pf = self.price_fractions();
+        writeln!(f, "users: {}  items: {}  ratings: {}", self.n_users, self.n_items, self.n_ratings)?;
+        writeln!(
+            f,
+            "stars 1..5: {:.1}% {:.1}% {:.1}% {:.1}% {:.1}%",
+            sf[0] * 100.0,
+            sf[1] * 100.0,
+            sf[2] * 100.0,
+            sf[3] * 100.0,
+            sf[4] * 100.0
+        )?;
+        writeln!(
+            f,
+            "prices: {:.1}% < $10, {:.1}% $10-20, {:.1}% > $20",
+            pf[0] * 100.0,
+            pf[1] * 100.0,
+            pf[2] * 100.0
+        )?;
+        write!(
+            f,
+            "degrees: user >= {} (mean {:.1}), item >= {} (mean {:.1})",
+            self.min_user_degree, self.mean_user_degree, self.min_item_degree, self.mean_item_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RatingsData {
+        RatingsData::new(
+            2,
+            2,
+            vec![
+                Rating { user: 0, item: 0, stars: 5 },
+                Rating { user: 0, item: 1, stars: 3 },
+                Rating { user: 1, item: 1, stars: 1 },
+            ],
+            vec![9.99, 15.0],
+        )
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = tiny().summary();
+        assert_eq!(s.n_ratings, 3);
+        assert_eq!(s.star_hist, [1, 0, 1, 0, 1]);
+        assert_eq!(s.price_hist, [1, 1, 0]);
+        assert_eq!(s.min_user_degree, 1);
+        assert_eq!(s.mean_user_degree, 1.5);
+    }
+
+    #[test]
+    fn user_items_view() {
+        assert_eq!(tiny().user_items(), vec![vec![0, 1], vec![1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate rating")]
+    fn rejects_duplicates() {
+        RatingsData::new(
+            1,
+            1,
+            vec![
+                Rating { user: 0, item: 0, stars: 5 },
+                Rating { user: 0, item: 0, stars: 4 },
+            ],
+            vec![1.0],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stars")]
+    fn rejects_bad_stars() {
+        RatingsData::new(1, 1, vec![Rating { user: 0, item: 0, stars: 6 }], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_price() {
+        RatingsData::new(1, 1, vec![], vec![0.0]);
+    }
+}

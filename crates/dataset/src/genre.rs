@@ -1,0 +1,181 @@
+//! Genre-clustered preference generator for the information-goods scenarios
+//! the paper's introduction motivates (cable-TV channel bundles, telecom
+//! service packages): consumers belong to taste clusters and value items of
+//! their cluster(s) much more than the rest.
+//!
+//! Unlike [`crate::AmazonBooksConfig`] (which reproduces a *ratings*
+//! dataset), this generator emits willingness-to-pay rows directly — the
+//! natural input for subscription goods where the "price list" is the
+//! seller's decision variable, not data.
+
+use crate::stats::WeightedSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the genre-cluster WTP generator.
+#[derive(Debug, Clone)]
+pub struct GenreClusterConfig {
+    /// Items per genre (genre count = `genre_sizes.len()`).
+    pub genre_sizes: Vec<usize>,
+    /// Number of consumers.
+    pub n_consumers: usize,
+    /// WTP range for items of a consumer's favourite genre.
+    pub favourite_range: (f64, f64),
+    /// WTP range for the secondary genre.
+    pub secondary_range: (f64, f64),
+    /// WTP range for everything else (lower bound may be 0).
+    pub background_range: (f64, f64),
+    /// Probability that a background item gets zero WTP outright
+    /// (sparsity).
+    pub background_zero_prob: f64,
+    /// Relative popularity of each genre (favourite-genre sampling
+    /// weights); must match `genre_sizes.len()`.
+    pub genre_popularity: Vec<f64>,
+}
+
+impl GenreClusterConfig {
+    /// A cable-TV-like default: 4 genres × 10 channels, 600 subscribers.
+    pub fn cable_tv() -> Self {
+        GenreClusterConfig {
+            genre_sizes: vec![10, 10, 10, 10],
+            n_consumers: 600,
+            favourite_range: (3.0, 6.0),
+            secondary_range: (1.0, 3.0),
+            background_range: (0.0, 1.0),
+            background_zero_prob: 0.35,
+            genre_popularity: vec![1.5, 1.0, 1.2, 0.8],
+        }
+    }
+
+    /// Total item count.
+    pub fn n_items(&self) -> usize {
+        self.genre_sizes.iter().sum()
+    }
+
+    /// Genre index of an item id.
+    pub fn genre_of(&self, item: usize) -> usize {
+        let mut acc = 0;
+        for (g, &sz) in self.genre_sizes.iter().enumerate() {
+            acc += sz;
+            if item < acc {
+                return g;
+            }
+        }
+        panic!("item {item} out of range ({} items)", self.n_items());
+    }
+
+    /// Generate dense WTP rows, deterministic in (config, seed).
+    pub fn generate(&self, seed: u64) -> Vec<Vec<f64>> {
+        assert!(!self.genre_sizes.is_empty(), "at least one genre required");
+        assert!(self.genre_sizes.iter().all(|&s| s > 0), "genres must be non-empty");
+        assert_eq!(
+            self.genre_popularity.len(),
+            self.genre_sizes.len(),
+            "one popularity weight per genre"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.background_zero_prob),
+            "background_zero_prob must be a probability"
+        );
+        for (lo, hi) in [self.favourite_range, self.secondary_range, self.background_range] {
+            assert!(lo >= 0.0 && hi >= lo, "WTP ranges must be ordered and non-negative");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let popularity = WeightedSampler::new(&self.genre_popularity);
+        let n_items = self.n_items();
+        let genre_of: Vec<usize> = (0..n_items).map(|i| self.genre_of(i)).collect();
+        let mut rows = Vec::with_capacity(self.n_consumers);
+        for _ in 0..self.n_consumers {
+            let favourite = popularity.sample(&mut rng);
+            let secondary = popularity.sample(&mut rng);
+            let mut row = Vec::with_capacity(n_items);
+            for &g in &genre_of {
+                let w = if g == favourite {
+                    sample_range(&mut rng, self.favourite_range)
+                } else if g == secondary {
+                    sample_range(&mut rng, self.secondary_range)
+                } else if rng.random::<f64>() < self.background_zero_prob {
+                    0.0
+                } else {
+                    sample_range(&mut rng, self.background_range)
+                };
+                row.push(w);
+            }
+            rows.push(row);
+        }
+        rows
+    }
+}
+
+fn sample_range<R: Rng>(rng: &mut R, (lo, hi): (f64, f64)) -> f64 {
+    if hi > lo {
+        rng.random_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let cfg = GenreClusterConfig::cable_tv();
+        let a = cfg.generate(3);
+        let b = cfg.generate(3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 600);
+        assert_eq!(a[0].len(), 40);
+    }
+
+    #[test]
+    fn favourites_dominate() {
+        // On average, a consumer's best genre should be worth much more
+        // than the background.
+        let cfg = GenreClusterConfig::cable_tv();
+        let rows = cfg.generate(5);
+        let mut fav_means = 0.0;
+        for row in &rows {
+            // Mean WTP per genre; max genre mean should be >= 3.0.
+            let mut best: f64 = 0.0;
+            for (g, &sz) in cfg.genre_sizes.iter().enumerate() {
+                let start: usize = cfg.genre_sizes[..g].iter().sum();
+                let mean: f64 =
+                    row[start..start + sz].iter().sum::<f64>() / sz as f64;
+                best = best.max(mean);
+            }
+            fav_means += best;
+        }
+        let avg = fav_means / rows.len() as f64;
+        assert!(avg > 3.0, "favourite-genre mean {avg}");
+    }
+
+    #[test]
+    fn genre_of_maps_boundaries() {
+        let cfg = GenreClusterConfig {
+            genre_sizes: vec![2, 3],
+            ..GenreClusterConfig::cable_tv()
+        };
+        assert_eq!(cfg.genre_of(0), 0);
+        assert_eq!(cfg.genre_of(1), 0);
+        assert_eq!(cfg.genre_of(2), 1);
+        assert_eq!(cfg.genre_of(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn genre_of_rejects_overflow() {
+        GenreClusterConfig::cable_tv().genre_of(40);
+    }
+
+    #[test]
+    #[should_panic(expected = "popularity")]
+    fn popularity_arity_checked() {
+        let cfg = GenreClusterConfig {
+            genre_popularity: vec![1.0],
+            ..GenreClusterConfig::cable_tv()
+        };
+        cfg.generate(0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Small statistical toolbox for the synthetic generator.
+//!
+//! The approved dependency set has `rand` but not `rand_distr`, so the few
+//! distributions the generator needs are implemented here: standard normal
+//! (Box–Muller), gamma (Marsaglia–Tsang), Dirichlet (normalized gammas),
+//! bounded Zipf (by inverse CDF over precomputed weights), and a cumulative
+//! weighted sampler.
+
+use rand::Rng;
+
+/// Standard normal via Box–Muller (the cached second value is dropped for
+/// simplicity; the generator is not hot enough to care).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Gamma(shape, scale=1) via Marsaglia & Tsang's squeeze method; shapes < 1
+/// are boosted with the standard `U^(1/shape)` correction.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0 && shape.is_finite(), "gamma shape must be positive, got {shape}");
+    if shape < 1.0 {
+        let u: f64 = rng.random();
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Dirichlet sample with concentration vector `alpha` (all entries > 0).
+pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64]) -> Vec<f64> {
+    assert!(!alpha.is_empty(), "dirichlet needs at least one component");
+    let gammas: Vec<f64> = alpha.iter().map(|&a| gamma(rng, a)).collect();
+    let sum: f64 = gammas.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate draw (possible only with pathological alphas): uniform.
+        return vec![1.0 / alpha.len() as f64; alpha.len()];
+    }
+    gammas.into_iter().map(|g| g / sum).collect()
+}
+
+/// Sampler over `0..weights.len()` proportional to `weights`, by binary
+/// search on the cumulative sums. O(log n) per draw.
+#[derive(Debug, Clone)]
+pub struct WeightedSampler {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedSampler {
+    /// Build from non-negative weights, at least one positive.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative, got {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "total weight must be positive");
+        WeightedSampler { cumulative }
+    }
+
+    /// Draw an index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x: f64 = rng.random_range(0.0..total);
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+/// Zipf weights over ranks `1..=n`: weight(r) = 1 / r^s.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf needs at least one rank");
+    (1..=n).map(|r| (r as f64).powf(-s)).collect()
+}
+
+/// Draw from `Exp(mean)` by inversion.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive");
+    let u: f64 = rng.random();
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut r = rng();
+        for shape in [0.5, 1.0, 2.5, 9.0] {
+            let n = 20_000;
+            let xs: Vec<f64> = (0..n).map(|_| gamma(&mut r, shape)).collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            assert!((mean - shape).abs() < 0.12 * shape.max(1.0), "shape {shape}: mean {mean}");
+            assert!(xs.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_tracks_alpha() {
+        let mut r = rng();
+        let alpha = [2.0, 4.0, 2.0];
+        let mut acc = [0.0; 3];
+        let n = 5_000;
+        for _ in 0..n {
+            let d = dirichlet(&mut r, &alpha);
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for k in 0..3 {
+                acc[k] += d[k];
+            }
+        }
+        // Expectation alpha_k / sum(alpha) = [0.25, 0.5, 0.25].
+        assert!((acc[1] / n as f64 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn weighted_sampler_respects_weights() {
+        let mut r = rng();
+        let ws = WeightedSampler::new(&[1.0, 0.0, 3.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..8_000 {
+            counts[ws.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_is_decreasing() {
+        let w = zipf_weights(10, 1.0);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+        assert!((w[0] / w[9] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let m = (0..n).map(|_| exponential(&mut r, 14.0)).sum::<f64>() / n as f64;
+        assert!((m - 14.0).abs() < 0.5, "mean {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sampler_rejects_all_zero() {
+        WeightedSampler::new(&[0.0, 0.0]);
+    }
+}

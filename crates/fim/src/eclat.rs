@@ -1,0 +1,134 @@
+//! Eclat: depth-first enumeration of *all* frequent itemsets over the
+//! vertical representation (Zaki et al.). Used directly for small problems
+//! and as the shared machinery validated against [`crate::apriori`].
+
+use crate::{Bitmap, Itemset, TransactionDb};
+
+/// Guard against combinatorial explosion when enumerating all frequent
+/// itemsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EclatLimit {
+    /// No cap (use only when the instance is known to be small).
+    Unbounded,
+    /// Stop with an error after this many itemsets.
+    MaxItemsets(usize),
+}
+
+/// Mine all frequent itemsets with support ≥ `minsup` (absolute count ≥ 1).
+///
+/// Returns itemsets in depth-first order (prefix before extensions), each
+/// with its exact support. Errors if `limit` is exceeded.
+pub fn mine_frequent(
+    db: &TransactionDb,
+    minsup: u32,
+    limit: EclatLimit,
+) -> Result<Vec<Itemset>, String> {
+    assert!(minsup >= 1, "minsup must be >= 1");
+    let cap = match limit {
+        EclatLimit::Unbounded => usize::MAX,
+        EclatLimit::MaxItemsets(k) => k,
+    };
+    let mut out = Vec::new();
+    // Frequent single items, ascending id.
+    let roots: Vec<(u32, Bitmap, u32)> = (0..db.n_items() as u32)
+        .filter_map(|i| {
+            let bm = db.item_bitmap(i);
+            let sup = bm.count();
+            (sup >= minsup).then(|| (i, bm.clone(), sup))
+        })
+        .collect();
+    let mut prefix = Vec::new();
+    dfs(&roots, &mut prefix, minsup, cap, &mut out)?;
+    Ok(out)
+}
+
+fn dfs(
+    tail: &[(u32, Bitmap, u32)],
+    prefix: &mut Vec<u32>,
+    minsup: u32,
+    cap: usize,
+    out: &mut Vec<Itemset>,
+) -> Result<(), String> {
+    for (idx, (item, bm, sup)) in tail.iter().enumerate() {
+        prefix.push(*item);
+        if out.len() >= cap {
+            return Err(format!("frequent itemset cap of {cap} exceeded"));
+        }
+        out.push(Itemset { items: prefix.clone(), support: *sup });
+        // Extensions: intersect with strictly later tail items.
+        let mut next: Vec<(u32, Bitmap, u32)> = Vec::new();
+        for (jtem, jbm, _) in &tail[idx + 1..] {
+            let nbm = bm.and(jbm);
+            let nsup = nbm.count();
+            if nsup >= minsup {
+                next.push((*jtem, nbm, nsup));
+            }
+        }
+        dfs(&next, prefix, minsup, cap, out)?;
+        prefix.pop();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        // Classic 5-transaction example.
+        TransactionDb::from_transactions(
+            5,
+            &[
+                vec![0, 1, 4],
+                vec![1, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![0, 2],
+            ],
+        )
+    }
+
+    #[test]
+    fn mines_expected_sets_at_minsup_2() {
+        let got = mine_frequent(&db(), 2, EclatLimit::Unbounded).unwrap();
+        let mut sets: Vec<(Vec<u32>, u32)> =
+            got.into_iter().map(|is| (is.items, is.support)).collect();
+        sets.sort();
+        let expected: Vec<(Vec<u32>, u32)> = vec![
+            (vec![0], 3),
+            (vec![0, 1], 2),
+            (vec![1], 4),
+            (vec![1, 3], 2),
+            (vec![2], 2),
+            (vec![3], 2),
+        ];
+        assert_eq!(sets, expected);
+    }
+
+    #[test]
+    fn minsup_one_enumerates_every_occurring_set() {
+        let got = mine_frequent(&db(), 1, EclatLimit::Unbounded).unwrap();
+        // {0,1,4} occurs once; its subsets all occur.
+        assert!(got.iter().any(|s| s.items == vec![0, 1, 4] && s.support == 1));
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let err = mine_frequent(&db(), 1, EclatLimit::MaxItemsets(3)).unwrap_err();
+        assert!(err.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn high_minsup_yields_nothing() {
+        let got = mine_frequent(&db(), 6, EclatLimit::Unbounded).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn supports_are_exact() {
+        let d = db();
+        for s in mine_frequent(&d, 2, EclatLimit::Unbounded).unwrap() {
+            assert_eq!(s.support, d.support(&s.items), "support mismatch for {:?}", s.items);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests tying the three miners together on random databases:
+//! Eclat must equal Apriori exactly; the maximal miner must equal the
+//! maximality filter over Eclat's output.
+
+use proptest::prelude::*;
+use revmax_fim::{apriori, mine_frequent, mine_maximal, EclatLimit, Itemset, TransactionDb};
+
+fn arb_db(max_items: usize, max_tx: usize) -> impl Strategy<Value = TransactionDb> {
+    (2usize..=max_items).prop_flat_map(move |n| {
+        let tx = proptest::collection::vec(0u32..n as u32, 0..=n);
+        proptest::collection::vec(tx, 0..=max_tx).prop_map(move |mut txs| {
+            for tx in &mut txs {
+                tx.sort_unstable();
+                tx.dedup();
+            }
+            TransactionDb::from_transactions(n, &txs)
+        })
+    })
+}
+
+fn normalized(mut sets: Vec<Itemset>) -> Vec<(Vec<u32>, u32)> {
+    sets.sort_by(|a, b| a.items.cmp(&b.items));
+    sets.into_iter().map(|s| (s.items, s.support)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn eclat_equals_apriori(db in arb_db(8, 24), minsup in 1u32..6) {
+        let e = normalized(mine_frequent(&db, minsup, EclatLimit::Unbounded).unwrap());
+        let a = normalized(apriori(&db, minsup));
+        prop_assert_eq!(e, a);
+    }
+
+    #[test]
+    fn maximal_equals_filtered_frequent(db in arb_db(9, 30), minsup in 1u32..6) {
+        let all = mine_frequent(&db, minsup, EclatLimit::Unbounded).unwrap();
+        let mut expect: Vec<Itemset> = all
+            .iter()
+            .filter(|s| !all.iter().any(|t| t.items.len() > s.items.len() && s.is_subset_of(t)))
+            .cloned()
+            .collect();
+        expect.sort_by(|a, b| a.items.cmp(&b.items));
+        let got = mine_maximal(&db, minsup);
+        prop_assert_eq!(normalized(got), normalized(expect));
+    }
+
+    #[test]
+    fn maximal_sets_are_frequent_and_pairwise_unrelated(db in arb_db(10, 25), minsup in 1u32..5) {
+        let got = mine_maximal(&db, minsup);
+        for s in &got {
+            prop_assert!(s.support >= minsup);
+            prop_assert_eq!(s.support, db.support(&s.items));
+        }
+        for (i, a) in got.iter().enumerate() {
+            for b in got.iter().skip(i + 1) {
+                prop_assert!(!a.is_subset_of(b) && !b.is_subset_of(a),
+                    "maximal sets related: {:?} vs {:?}", a.items, b.items);
+            }
+        }
+    }
+}

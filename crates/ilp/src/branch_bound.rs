@@ -1,0 +1,214 @@
+//! Exact branch-and-bound solver for weighted set packing.
+//!
+//! This plays the role of the commercial ILP solver (Gurobi) the paper uses
+//! for its `Optimal` comparator. The 0-1 program is
+//!
+//! ```text
+//!   maximize   Σ_j w_j x_j
+//!   subject to Σ_{j : i ∈ S_j} x_j ≤ 1      for every item i
+//!              x_j ∈ {0, 1}
+//! ```
+//!
+//! Search strategy:
+//!
+//! * Candidate sets are pre-sorted by *density* (weight per item),
+//!   descending; non-positive weights are dropped outright (never useful in
+//!   a packing).
+//! * Depth-first include/exclude branching over that order, including first.
+//! * Upper bound at each node: fractional knapsack relaxation. Replace the
+//!   disjointness constraints with the single aggregate constraint
+//!   `Σ |S_j| x_j ≤ (#items still free)` and solve it fractionally by
+//!   density order — a valid relaxation of the remaining subproblem, cheap
+//!   to evaluate because the candidate list is already density-sorted.
+//! * Dominance pre-pass: a set that is a superset of another with no more
+//!   weight can be removed (choosing the smaller one is never worse).
+
+use crate::{Packing, SetPacking};
+
+/// Solve the instance exactly. Runtime is worst-case exponential in the
+/// number of candidate sets, but the density bound keeps the paper-scale
+/// instances (all subsets of ≤ 20 items) comfortably in range.
+pub fn solve(inst: &SetPacking) -> Packing {
+    // Keep positive-weight sets, remembering original ids.
+    let mut cands: Vec<(u64, f64, usize)> = inst
+        .sets()
+        .iter()
+        .enumerate()
+        .filter(|(_, &(_, w))| w > 0.0)
+        .map(|(id, &(mask, w))| (mask, w, id))
+        .collect();
+    // Dominance: drop any set that another set beats on both coverage
+    // (subset) and weight (>=). Quadratic, only worthwhile for moderate
+    // candidate counts.
+    if cands.len() <= 4096 {
+        let snapshot = cands.clone();
+        cands.retain(|&(mask, w, id)| {
+            !snapshot.iter().any(|&(m2, w2, id2)| {
+                id2 != id && (m2 & mask) == m2 && w2 >= w && (m2 != mask || id2 < id)
+            })
+        });
+    }
+    // Sort by density, descending; ties by fewer items first.
+    cands.sort_by(|a, b| {
+        let da = a.1 / a.0.count_ones() as f64;
+        let db = b.1 / b.0.count_ones() as f64;
+        db.partial_cmp(&da).unwrap().then(a.0.count_ones().cmp(&b.0.count_ones()))
+    });
+
+    let mut best = Packing::empty();
+    let mut stack_choice: Vec<usize> = Vec::new();
+    let free_items = if inst.n_items() == 64 { u64::MAX } else { (1u64 << inst.n_items()) - 1 };
+    dfs(&cands, 0, free_items, 0.0, &mut stack_choice, &mut best);
+    best.chosen.sort_unstable();
+    best.covered = best.chosen.iter().map(|&id| inst.sets()[id].0).fold(0, |a, m| a | m);
+    best
+}
+
+/// Fractional knapsack relaxation of the subproblem `cands[from..]` with
+/// `free` items remaining: a valid upper bound on the achievable weight.
+fn fractional_bound(cands: &[(u64, f64, usize)], from: usize, free: u64) -> f64 {
+    let mut cap = free.count_ones() as f64;
+    let mut bound = 0.0;
+    for &(mask, w, _) in &cands[from..] {
+        if cap <= 0.0 {
+            break;
+        }
+        if mask & !free != 0 {
+            continue; // conflicts with current partial packing
+        }
+        let size = mask.count_ones() as f64;
+        if size <= cap {
+            bound += w;
+            cap -= size;
+        } else {
+            bound += w * cap / size;
+            cap = 0.0;
+        }
+    }
+    bound
+}
+
+/// Depth-first search with include-first branching. Recursion depth is
+/// bounded by the number of *included* sets (≤ 64, one item consumed each),
+/// not by the candidate count: exclusion is handled iteratively in the scan
+/// loop, with the bound re-checked after every exclusion.
+fn dfs(
+    cands: &[(u64, f64, usize)],
+    from: usize,
+    free: u64,
+    acc: f64,
+    chosen: &mut Vec<usize>,
+    best: &mut Packing,
+) {
+    if acc > best.total_weight {
+        best.total_weight = acc;
+        best.chosen = chosen.clone();
+    }
+    if from >= cands.len() {
+        return;
+    }
+    if acc + fractional_bound(cands, from, free) <= best.total_weight {
+        return; // cannot improve
+    }
+    let mut j = from;
+    while j < cands.len() {
+        let (mask, w, id) = cands[j];
+        if mask & !free == 0 {
+            // Include cands[j] ...
+            chosen.push(id);
+            dfs(cands, j + 1, free & !mask, acc + w, chosen, best);
+            chosen.pop();
+            // ... then exclude it and keep scanning, re-pruning first.
+            if acc + fractional_bound(cands, j + 1, free) <= best.total_weight {
+                return;
+            }
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(n: usize, sets: &[(&[usize], f64)]) -> SetPacking {
+        let mut sp = SetPacking::new(n);
+        for (items, w) in sets {
+            sp.add_set(items, *w);
+        }
+        sp
+    }
+
+    #[test]
+    fn empty_instance() {
+        let sp = SetPacking::new(5);
+        let p = solve(&sp);
+        assert_eq!(p.total_weight, 0.0);
+        assert!(p.chosen.is_empty());
+    }
+
+    #[test]
+    fn picks_disjoint_pair_over_heavy_middle() {
+        let sp = inst(4, &[(&[0, 1], 10.0), (&[1, 2], 12.0), (&[2, 3], 10.0)]);
+        let p = solve(&sp);
+        assert_eq!(p.total_weight, 20.0);
+        assert_eq!(p.chosen, vec![0, 2]);
+    }
+
+    #[test]
+    fn overlapping_triplets() {
+        // {0,1,2} w=9 vs {0,1} w=5 + {2} w=5 = 10.
+        let sp = inst(3, &[(&[0, 1, 2], 9.0), (&[0, 1], 5.0), (&[2], 5.0)]);
+        let p = solve(&sp);
+        assert_eq!(p.total_weight, 10.0);
+    }
+
+    #[test]
+    fn negative_and_zero_weights_never_chosen() {
+        let sp = inst(3, &[(&[0], -2.0), (&[1], 0.0), (&[2], 1.0)]);
+        let p = solve(&sp);
+        assert_eq!(p.total_weight, 1.0);
+        assert_eq!(p.chosen.len(), 1);
+    }
+
+    #[test]
+    fn matches_exhaustive_on_fixed_instance() {
+        let sp = inst(
+            6,
+            &[
+                (&[0, 1], 7.0),
+                (&[1, 2], 3.0),
+                (&[2, 3], 8.0),
+                (&[3, 4], 4.0),
+                (&[4, 5], 7.0),
+                (&[0, 5], 2.0),
+                (&[0, 1, 2], 11.0),
+                (&[3, 4, 5], 10.5),
+            ],
+        );
+        let a = solve(&sp);
+        let b = sp.solve_exhaustive();
+        assert_eq!(a.total_weight, b.total_weight);
+        assert_eq!(sp.check_feasible(&a.chosen), Some(a.total_weight));
+    }
+
+    #[test]
+    fn dominated_sets_do_not_change_optimum() {
+        // {0,1} w=5 dominates {0,1} w=3 and is itself dominated by {0} w=5
+        // + {1} w=5 combos only through search, not the dominance pass.
+        let sp = inst(2, &[(&[0, 1], 3.0), (&[0, 1], 5.0), (&[0], 4.0), (&[1], 2.0)]);
+        let p = solve(&sp);
+        assert_eq!(p.total_weight, 6.0); // {0} + {1}
+    }
+
+    #[test]
+    fn all_64_items_supported() {
+        let mut sp = SetPacking::new(64);
+        for i in 0..64 {
+            sp.add_set(&[i], 1.0);
+        }
+        sp.add_set(&(0..64).collect::<Vec<_>>(), 63.5);
+        let p = solve(&sp);
+        assert_eq!(p.total_weight, 64.0);
+    }
+}

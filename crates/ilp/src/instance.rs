@@ -1,0 +1,207 @@
+//! Problem instance and solution types shared by the solvers.
+
+/// A weighted set packing instance over at most 64 ground items.
+///
+/// Candidate sets are stored as `u64` bitmasks with `f64` weights. Weights
+/// may be any finite value; sets with non-positive weight are legal inputs
+/// but are never selected by any solver (a packing is not required to cover
+/// anything).
+#[derive(Debug, Clone)]
+pub struct SetPacking {
+    n_items: usize,
+    sets: Vec<(u64, f64)>,
+}
+
+/// A feasible packing: pairwise-disjoint selected sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packing {
+    /// Indices (into insertion order) of the selected sets.
+    pub chosen: Vec<usize>,
+    /// Total weight of the selected sets.
+    pub total_weight: f64,
+    /// Union of the selected sets, as an item bitmask.
+    pub covered: u64,
+}
+
+impl Packing {
+    pub(crate) fn empty() -> Self {
+        Packing { chosen: Vec::new(), total_weight: 0.0, covered: 0 }
+    }
+}
+
+impl SetPacking {
+    /// Create an instance over `n_items` ground items (`n_items ≤ 64`).
+    pub fn new(n_items: usize) -> Self {
+        assert!(n_items <= 64, "SetPacking supports at most 64 items, got {n_items}");
+        SetPacking { n_items, sets: Vec::new() }
+    }
+
+    /// Number of ground items.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of candidate sets.
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Candidate sets as `(mask, weight)` in insertion order.
+    pub fn sets(&self) -> &[(u64, f64)] {
+        &self.sets
+    }
+
+    /// Add a candidate set given its item indices. Returns the set's id.
+    ///
+    /// Panics on empty sets, duplicate items, out-of-range items, or
+    /// non-finite weights.
+    pub fn add_set(&mut self, items: &[usize], weight: f64) -> usize {
+        assert!(!items.is_empty(), "candidate sets must be non-empty");
+        let mut mask = 0u64;
+        for &i in items {
+            assert!(i < self.n_items, "item {i} out of range (n_items={})", self.n_items);
+            assert!(mask & (1 << i) == 0, "duplicate item {i} in candidate set");
+            mask |= 1 << i;
+        }
+        self.add_mask(mask, weight)
+    }
+
+    /// Add a candidate set given as a bitmask. Returns the set's id.
+    pub fn add_mask(&mut self, mask: u64, weight: f64) -> usize {
+        assert!(mask != 0, "candidate sets must be non-empty");
+        if self.n_items < 64 {
+            assert!(mask >> self.n_items == 0, "mask {mask:#x} exceeds n_items={}", self.n_items);
+        }
+        assert!(weight.is_finite(), "weight must be finite, got {weight}");
+        self.sets.push((mask, weight));
+        self.sets.len() - 1
+    }
+
+    /// Exact optimum via branch-and-bound. See [`crate::branch_bound`].
+    pub fn solve_exact(&self) -> Packing {
+        crate::branch_bound::solve(self)
+    }
+
+    /// `√N`-approximate optimum via the norm-scaled greedy (`w/√|S|`).
+    /// See [`crate::greedy`] for why this rule, not the paper's literal
+    /// "average weight per item", carries the guarantee.
+    pub fn solve_greedy(&self) -> Packing {
+        crate::greedy::solve(self)
+    }
+
+    /// Greedy with an explicit selection rule.
+    pub fn solve_greedy_with_rule(&self, rule: crate::greedy::Rule) -> Packing {
+        crate::greedy::solve_with_rule(self, rule)
+    }
+
+    /// Exhaustive reference solver: tries all `2^k` subsets of candidate
+    /// sets. Only for tests; panics when more than 24 candidate sets.
+    pub fn solve_exhaustive(&self) -> Packing {
+        let k = self.sets.len();
+        assert!(k <= 24, "exhaustive solver limited to 24 sets, got {k}");
+        let mut best = Packing::empty();
+        for pick in 0u32..(1u32 << k) {
+            let mut covered = 0u64;
+            let mut weight = 0.0;
+            let mut ok = true;
+            for (j, &(mask, w)) in self.sets.iter().enumerate() {
+                if pick & (1 << j) != 0 {
+                    if covered & mask != 0 {
+                        ok = false;
+                        break;
+                    }
+                    covered |= mask;
+                    weight += w;
+                }
+            }
+            if ok && weight > best.total_weight {
+                best = Packing {
+                    chosen: (0..k).filter(|&j| pick & (1 << j) != 0).collect(),
+                    total_weight: weight,
+                    covered,
+                };
+            }
+        }
+        best
+    }
+
+    /// Verify that `chosen` indices form a pairwise-disjoint family and
+    /// return its total weight; used in tests and debug assertions.
+    pub fn check_feasible(&self, chosen: &[usize]) -> Option<f64> {
+        let mut covered = 0u64;
+        let mut total = 0.0;
+        for &j in chosen {
+            let (mask, w) = *self.sets.get(j)?;
+            if covered & mask != 0 {
+                return None;
+            }
+            covered |= mask;
+            total += w;
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut sp = SetPacking::new(5);
+        let a = sp.add_set(&[0, 2], 3.0);
+        let b = sp.add_mask(0b11000, 4.0);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(sp.n_sets(), 2);
+        assert_eq!(sp.sets()[0], (0b101, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_set() {
+        SetPacking::new(3).add_set(&[], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_item() {
+        SetPacking::new(3).add_set(&[3], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_weight() {
+        SetPacking::new(3).add_set(&[0], f64::NAN);
+    }
+
+    #[test]
+    fn exhaustive_picks_disjoint_max() {
+        let mut sp = SetPacking::new(4);
+        sp.add_set(&[0, 1], 10.0);
+        sp.add_set(&[1, 2], 12.0);
+        sp.add_set(&[2, 3], 10.0);
+        let p = sp.solve_exhaustive();
+        assert_eq!(p.total_weight, 20.0);
+        assert_eq!(p.chosen, vec![0, 2]);
+        assert_eq!(p.covered, 0b1111);
+    }
+
+    #[test]
+    fn exhaustive_ignores_negative_weights() {
+        let mut sp = SetPacking::new(2);
+        sp.add_set(&[0], -1.0);
+        sp.add_set(&[1], 2.0);
+        let p = sp.solve_exhaustive();
+        assert_eq!(p.total_weight, 2.0);
+        assert_eq!(p.chosen, vec![1]);
+    }
+
+    #[test]
+    fn check_feasible_detects_overlap() {
+        let mut sp = SetPacking::new(3);
+        sp.add_set(&[0, 1], 1.0);
+        sp.add_set(&[1, 2], 1.0);
+        assert_eq!(sp.check_feasible(&[0]), Some(1.0));
+        assert_eq!(sp.check_feasible(&[0, 1]), None);
+    }
+}

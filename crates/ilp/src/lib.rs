@@ -1,0 +1,42 @@
+//! # revmax-ilp — exact and approximate 0-1 weighted set packing
+//!
+//! Section 5.2 of *Mining Revenue-Maximizing Bundling Configuration*
+//! (VLDB'15) reduces optimal pure bundling (after enumerating all `2^N − 1`
+//! candidate bundles) to **weighted set packing**: pick pairwise-disjoint
+//! candidate bundles with maximum total revenue. The paper solves the exact
+//! problem with a commercial ILP solver (Gurobi) and compares against the
+//! greedy approximation with a known `√N` bound. This crate provides both
+//! from scratch:
+//!
+//! * [`SetPacking`] with [`SetPacking::solve_exact`] — a branch-and-bound
+//!   0-1 solver with a fractional (knapsack-relaxation) upper bound and
+//!   density-sorted branching. Exact for any instance; practical for the
+//!   paper's `N ≤ 20` regime.
+//! * [`subset_dp::solve_all_subsets`] — the special case the paper actually
+//!   needs, where *every* nonempty subset of items is a candidate: a subset
+//!   dynamic program over item masks (`O(3^N)` time) that is considerably
+//!   faster than generic branch-and-bound there.
+//! * [`SetPacking::solve_greedy`] — the `√N`-approximate greedy (the
+//!   paper's `Greedy WSP`). Note: the paper says "highest average weight
+//!   per item" but attributes the `√N` bound of Gonen & Lehmann, which
+//!   belongs to the `w/√|S|` rule; see [`greedy`] for the discrepancy and
+//!   a counterexample.
+//! * [`SetPacking::solve_exhaustive`] — reference solver for tests.
+//!
+//! ```
+//! use revmax_ilp::SetPacking;
+//!
+//! let mut sp = SetPacking::new(4);
+//! sp.add_set(&[0, 1], 10.0);
+//! sp.add_set(&[1, 2], 12.0);
+//! sp.add_set(&[2, 3], 10.0);
+//! let best = sp.solve_exact();
+//! assert_eq!(best.total_weight, 20.0); // {0,1} + {2,3} beats {1,2}
+//! ```
+
+pub mod branch_bound;
+pub mod greedy;
+mod instance;
+pub mod subset_dp;
+
+pub use instance::{Packing, SetPacking};

@@ -1,0 +1,83 @@
+//! Property tests: the three packing solvers agree where they must, and the
+//! greedy respects its approximation bound (with wide margin in practice).
+
+use proptest::prelude::*;
+use revmax_ilp::subset_dp::solve_all_subsets;
+use revmax_ilp::SetPacking;
+
+/// Random instance: (n_items, sets as (mask, weight)).
+fn arb_instance(
+    max_items: usize,
+    max_sets: usize,
+) -> impl Strategy<Value = (usize, Vec<(u64, f64)>)> {
+    (1usize..=max_items).prop_flat_map(move |n| {
+        let set = (1u64..(1u64 << n), 0u32..2000).prop_map(|(mask, w)| (mask, w as f64 / 10.0));
+        (Just(n), proptest::collection::vec(set, 0..=max_sets))
+    })
+}
+
+fn build(n: usize, sets: &[(u64, f64)]) -> SetPacking {
+    let mut sp = SetPacking::new(n);
+    for &(mask, w) in sets {
+        sp.add_mask(mask, w);
+    }
+    sp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn branch_and_bound_matches_exhaustive((n, sets) in arb_instance(8, 12)) {
+        let sp = build(n, &sets);
+        let bb = sp.solve_exact();
+        let ex = sp.solve_exhaustive();
+        prop_assert!((bb.total_weight - ex.total_weight).abs() < 1e-9,
+            "b&b {} vs exhaustive {}", bb.total_weight, ex.total_weight);
+        // The reported packing must be feasible and sum to the weight.
+        let check = sp.check_feasible(&bb.chosen).expect("b&b infeasible");
+        prop_assert!((check - bb.total_weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_bounded((n, sets) in arb_instance(10, 16)) {
+        let sp = build(n, &sets);
+        let g = sp.solve_greedy();
+        let check = sp.check_feasible(&g.chosen).expect("greedy infeasible");
+        prop_assert!((check - g.total_weight).abs() < 1e-9);
+        let opt = sp.solve_exact();
+        prop_assert!(g.total_weight <= opt.total_weight + 1e-9);
+        // √N approximation guarantee.
+        let bound = opt.total_weight / (n as f64).sqrt();
+        prop_assert!(g.total_weight + 1e-9 >= bound,
+            "greedy {} below bound {} (opt {})", g.total_weight, bound, opt.total_weight);
+    }
+
+    #[test]
+    fn subset_dp_matches_branch_and_bound(n in 1usize..8, seed in 0u64..500) {
+        let mut weights = vec![0.0; 1usize << n];
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(7);
+        for m in 1..(1usize << n) {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Mix in some negative weights to exercise "leave unsold".
+            weights[m] = ((state >> 33) % 200) as f64 - 20.0;
+        }
+        let dp = solve_all_subsets(n, &weights);
+        let mut sp = SetPacking::new(n);
+        for m in 1..(1u64 << n) {
+            sp.add_mask(m, weights[m as usize]);
+        }
+        let bb = sp.solve_exact();
+        prop_assert!((dp.total_weight - bb.total_weight).abs() < 1e-9,
+            "dp {} vs b&b {}", dp.total_weight, bb.total_weight);
+        // DP's chosen sets are disjoint and sum correctly.
+        let mut union = 0u32;
+        let mut total = 0.0;
+        for &s in &dp.chosen {
+            prop_assert_eq!(union & s, 0);
+            union |= s;
+            total += weights[s as usize];
+        }
+        prop_assert!((total - dp.total_weight).abs() < 1e-9);
+    }
+}

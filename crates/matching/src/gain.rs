@@ -1,0 +1,149 @@
+//! Self-loop ("gain graph") reduction used by the bundling algorithms.
+//!
+//! The paper's 2-sized configuration graph has a self-loop per item (the
+//! revenue of selling the item alone) and an edge per pair (the revenue of
+//! the size-2 bundle). A valid configuration covers every vertex by exactly
+//! one edge, self-loops included. A matching never contains self-loops, so
+//! we solve the revenue-equivalent problem on *gains*:
+//!
+//! ```text
+//!   gain(u, v) = r({u,v}) − r({u}) − r({v})
+//! ```
+//!
+//! Maximum-weight matching on the positive-gain edges plus the constant
+//! `Σ_v r({v})` equals the optimal configuration revenue, and every
+//! unmatched vertex keeps its self-loop. This module packages that
+//! transformation so callers never handle the offset bookkeeping by hand.
+
+use crate::blossom::max_weight_matching;
+
+/// A graph of self-loop weights plus pairwise weights, in integer units.
+///
+/// Build one with [`GainGraph::new`], add pair candidates with
+/// [`GainGraph::add_pair`], and solve with [`GainGraph::solve`].
+#[derive(Debug, Clone)]
+pub struct GainGraph {
+    self_weights: Vec<i64>,
+    pairs: Vec<(usize, usize, i64)>,
+}
+
+/// Outcome of solving a [`GainGraph`]: the chosen cover of all vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GainSolution {
+    /// Matched pairs `(u, v)` with `u < v`, i.e. size-2 groups.
+    pub pairs: Vec<(usize, usize)>,
+    /// Vertices covered by their self-loop, i.e. singleton groups.
+    pub singles: Vec<usize>,
+    /// Total weight: self-loop mass of singles + pair weights of matches.
+    pub total_weight: i64,
+}
+
+impl GainGraph {
+    /// Create a gain graph over `self_weights.len()` vertices; vertex `v`'s
+    /// self-loop weighs `self_weights[v]`.
+    pub fn new(self_weights: Vec<i64>) -> Self {
+        GainGraph { self_weights, pairs: Vec::new() }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.self_weights.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.self_weights.is_empty()
+    }
+
+    /// Register the pair `{u, v}` with total weight `weight` (NOT the gain:
+    /// the raw combined weight, e.g. the revenue of the size-2 bundle).
+    ///
+    /// Pairs whose gain over the two self-loops is non-positive are kept but
+    /// can never be selected, mirroring the paper's "revert to components"
+    /// guarantee.
+    pub fn add_pair(&mut self, u: usize, v: usize, weight: i64) {
+        assert!(u != v, "self pair {u}");
+        assert!(u < self.len() && v < self.len(), "pair ({u},{v}) out of range");
+        self.pairs.push((u, v, weight));
+    }
+
+    /// Solve for the maximum-total-weight cover.
+    pub fn solve(&self) -> GainSolution {
+        let n = self.len();
+        let base: i64 = self.self_weights.iter().sum();
+        let gain_edges: Vec<(usize, usize, i64)> = self
+            .pairs
+            .iter()
+            .filter_map(|&(u, v, w)| {
+                let gain = w - self.self_weights[u] - self.self_weights[v];
+                (gain > 0).then_some((u, v, gain))
+            })
+            .collect();
+        let m = max_weight_matching(n, &gain_edges);
+        let mut singles = Vec::new();
+        for v in 0..n {
+            if m.mate[v].is_none() {
+                singles.push(v);
+            }
+        }
+        GainSolution { pairs: m.edges.clone(), singles, total_weight: base + m.weight }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_singles_when_no_pairs_gain() {
+        let mut g = GainGraph::new(vec![10, 20, 30]);
+        g.add_pair(0, 1, 25); // gain -5
+        let s = g.solve();
+        assert_eq!(s.total_weight, 60);
+        assert_eq!(s.singles, vec![0, 1, 2]);
+        assert!(s.pairs.is_empty());
+    }
+
+    #[test]
+    fn profitable_pair_selected() {
+        let mut g = GainGraph::new(vec![10, 20, 30]);
+        g.add_pair(0, 1, 45); // gain +15
+        let s = g.solve();
+        assert_eq!(s.total_weight, 75);
+        assert_eq!(s.pairs, vec![(0, 1)]);
+        assert_eq!(s.singles, vec![2]);
+    }
+
+    #[test]
+    fn conflicting_pairs_resolved_globally() {
+        // 0-1 gains 5, 1-2 gains 6, 0-2 gains 4: best single pick is 1-2;
+        // but 0-1 + nothing vs 1-2 + nothing: matching picks 1-2.
+        let mut g = GainGraph::new(vec![0, 0, 0]);
+        g.add_pair(0, 1, 5);
+        g.add_pair(1, 2, 6);
+        g.add_pair(0, 2, 4);
+        let s = g.solve();
+        assert_eq!(s.total_weight, 6);
+        assert_eq!(s.pairs, vec![(1, 2)]);
+        assert_eq!(s.singles, vec![0]);
+    }
+
+    #[test]
+    fn two_disjoint_pairs_beat_one_heavy() {
+        let mut g = GainGraph::new(vec![0, 0, 0, 0]);
+        g.add_pair(0, 1, 5);
+        g.add_pair(1, 2, 9);
+        g.add_pair(2, 3, 5);
+        let s = g.solve();
+        assert_eq!(s.total_weight, 10);
+        assert_eq!(s.pairs.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GainGraph::new(vec![]);
+        let s = g.solve();
+        assert_eq!(s.total_weight, 0);
+        assert!(s.pairs.is_empty() && s.singles.is_empty());
+    }
+}

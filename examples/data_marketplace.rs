@@ -1,0 +1,72 @@
+//! Data-marketplace scenario (§1): a Data-as-a-Service provider groups
+//! correlated datasets — "selling a hotel list and a review database, or
+//! data sets and related analysis reports". Utility is non-monetary
+//! ("user satisfaction" credits), and the provider cares about consumer
+//! surplus too, so the full two-sided objective
+//! `α·profit + (1−α)·surplus` is exercised with α = 0.7.
+//!
+//! ```sh
+//! cargo run --release --example data_marketplace
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use revmax::core::prelude::*;
+
+fn main() {
+    // 12 data products: 4 correlated families of 3 (raw data, cleaned
+    // version, analysis report). Buyers want whole families.
+    let n_products = 12;
+    let n_buyers = 300;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut rows = Vec::with_capacity(n_buyers);
+    for _ in 0..n_buyers {
+        let family = rng.random_range(0..4);
+        let mut row = vec![0.0f64; n_products];
+        for f in 0..4 {
+            for k in 0..3 {
+                let idx = f * 3 + k;
+                row[idx] = if f == family {
+                    rng.random_range(20.0..50.0) // satisfaction credits
+                } else if rng.random_bool(0.2) {
+                    rng.random_range(2.0..10.0)
+                } else {
+                    0.0
+                };
+            }
+        }
+        rows.push(row);
+    }
+
+    // Complementary data products (reports are worth more with the raw
+    // data), a two-sided objective, and moderate stochasticity in adoption
+    // (data buyers trial before committing).
+    let params = Params::default()
+        .with_theta(0.08)
+        .with_objective_alpha(0.7)
+        .with_gamma(2.0);
+    let market = Market::new(WtpMatrix::from_rows(rows), params);
+
+    let components = Components::optimal().run(&market);
+    let mixed = MixedMatching::default().run(&market);
+    println!(
+        "itemized catalogue : {:>9.2} credits captured ({:.1}% of demand)",
+        components.revenue,
+        components.coverage * 100.0
+    );
+    println!(
+        "mixed data bundles : {:>9.2} credits captured ({:.1}% of demand, +{:.1}%)",
+        mixed.revenue,
+        mixed.coverage * 100.0,
+        mixed.gain * 100.0
+    );
+
+    println!("\nbundled data products:");
+    for r in mixed.config.roots.iter().filter(|r| r.bundle.len() >= 2) {
+        println!("  {} at {:.1} credits", r.bundle, r.price);
+    }
+    // Stochastic evaluation, averaged like the paper's ten runs.
+    let mut rng = StdRng::seed_from_u64(99);
+    let sampled = mixed.config.sampled_revenue(&market, &mut rng, 10);
+    println!("\n10-run sampled revenue of the mixed menu: {sampled:.2} credits");
+}

@@ -1,0 +1,49 @@
+//! # revmax — revenue-maximizing bundle configuration
+//!
+//! Facade crate re-exporting the `revmax` workspace: a from-scratch Rust
+//! reproduction of *Mining Revenue-Maximizing Bundling Configuration*
+//! (Do, Lauw, Wang — PVLDB 8(5), 2015).
+//!
+//! The workspace is organised as one crate per subsystem:
+//!
+//! * [`core`] ([`revmax_core`]) — the paper's contribution: willingness-to-pay
+//!   modelling, the stochastic adoption model, optimal single-bundle pricing,
+//!   and the pure/mixed bundle-configuration algorithms (matching-based and
+//!   greedy) plus every baseline the paper evaluates against.
+//! * [`matching`] ([`revmax_matching`]) — maximum-weight matching on general
+//!   graphs (Edmonds' blossom algorithm), the substrate behind the optimal
+//!   2-sized configuration and Algorithm 1.
+//! * [`ilp`] ([`revmax_ilp`]) — exact and approximate 0-1 weighted set
+//!   packing, the substrate behind the `Optimal` and `Greedy WSP`
+//!   comparators of Section 5.2/6.4.
+//! * [`fim`] ([`revmax_fim`]) — maximal frequent itemset mining
+//!   (MAFIA-style), the substrate behind the `FreqItemset` baselines.
+//! * [`dataset`] ([`revmax_dataset`]) — a seeded synthetic stand-in for the
+//!   paper's (unavailable) Amazon Books ratings crawl, plus loaders for real
+//!   data.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use revmax::core::prelude::*;
+//!
+//! // Table 1 of the paper: two items, three consumers, theta = -0.05.
+//! let w = WtpMatrix::from_rows(vec![
+//!     vec![12.0, 4.0],
+//!     vec![8.0, 2.0],
+//!     vec![5.0, 11.0],
+//! ]);
+//! let params = Params::default().with_theta(-0.05);
+//! let market = Market::new(w, params);
+//!
+//! let mixed = MixedMatching::default().run(&market);
+//! assert!(mixed.revenue() > 27.0); // beats the $27 Components baseline
+//! ```
+pub use revmax_core as core;
+pub use revmax_dataset as dataset;
+pub use revmax_fim as fim;
+pub use revmax_ilp as ilp;
+pub use revmax_matching as matching;
+
+/// Library version, mirroring the workspace version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
