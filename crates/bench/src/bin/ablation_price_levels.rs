@@ -22,9 +22,8 @@ fn main() {
     let exact_cov = Components::optimal().run(&exact_market).coverage;
 
     for levels in [10usize, 25, 50, 100, 200, 400] {
-        let market =
-            data::market_from(&dataset, Params::default().with_price_levels(levels))
-                .with_grid_pricing();
+        let market = data::market_from(&dataset, Params::default().with_price_levels(levels))
+            .with_grid_pricing();
         let c = Components::optimal().run(&market);
         let pm = PureMatching::default().run(&market);
         t.row(vec![

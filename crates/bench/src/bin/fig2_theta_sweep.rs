@@ -18,9 +18,7 @@ fn main() {
     let names: Vec<&'static str> = all_methods().iter().map(|m| m.name()).collect();
     let mut cov = Table::new(
         format!("Figure 2 — revenue coverage vs theta ({} scale)", args.scale.name()),
-        &std::iter::once("theta")
-            .chain(names.iter().copied())
-            .collect::<Vec<_>>(),
+        &std::iter::once("theta").chain(names.iter().copied()).collect::<Vec<_>>(),
     );
     let mut gain = Table::new(
         "Figure 2 — revenue gain vs theta".to_string(),

@@ -11,11 +11,7 @@ use revmax_bench::report::Table;
 use revmax_core::prelude::*;
 
 fn main() {
-    let w = WtpMatrix::from_rows(vec![
-        vec![12.0, 4.0],
-        vec![8.0, 2.0],
-        vec![5.0, 11.0],
-    ]);
+    let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
     let market = Market::new(w, Params::default().with_theta(-0.05));
 
     let components = Components::optimal().run(&market);

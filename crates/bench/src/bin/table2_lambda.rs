@@ -4,8 +4,8 @@
 //! pricing peaking at 75.1% for λ = 1.25.
 
 use revmax_bench::args::{BenchArgs, Scale};
-use revmax_bench::report::{pct, Table};
 use revmax_bench::data;
+use revmax_bench::report::{pct, Table};
 use revmax_core::prelude::*;
 
 fn main() {

@@ -133,8 +133,7 @@ fn main() {
             }
         };
         let mean_time = |k: usize| -> String {
-            let vals: Vec<f64> =
-                accepted.iter().map(|s| s.time[k].as_secs_f64()).collect();
+            let vals: Vec<f64> = accepted.iter().map(|s| s.time[k].as_secs_f64()).collect();
             if n > OPTIMAL_MAX_N && k == 2 {
                 "-".into()
             } else {
@@ -149,8 +148,7 @@ fn main() {
             mean_cov(3),
             paper_cov[si.min(3)].into(),
         ]);
-        let enum_mean: Vec<f64> =
-            accepted.iter().map(|s| s.enumeration.as_secs_f64()).collect();
+        let enum_mean: Vec<f64> = accepted.iter().map(|s| s.enumeration.as_secs_f64()).collect();
         time_table.row(vec![
             n.to_string(),
             mean_time(0),

@@ -59,9 +59,8 @@ impl FreqItemsetConfigurator {
         let mut scratch = market.scratch();
         let mut trace = IterationTrace::new();
         // Component prices/revenues.
-        let singles: Vec<crate::pricing::PricedOutcome> = (0..market.n_items() as u32)
-            .map(|i| market.price_pure(&[i], &mut scratch))
-            .collect();
+        let singles: Vec<crate::pricing::PricedOutcome> =
+            (0..market.n_items() as u32).map(|i| market.price_pure(&[i], &mut scratch)).collect();
         let components_revenue: f64 = singles.iter().map(|p| p.revenue).sum();
 
         // Score candidates by absolute gain over their components.
@@ -114,8 +113,7 @@ impl FreqItemsetConfigurator {
         let mut components: Vec<Option<mixed::TopOffer>> = (0..market.n_items() as u32)
             .map(|i| Some(mixed::init_component(market, i, &mut scratch)))
             .collect();
-        let components_revenue: f64 =
-            components.iter().map(|c| c.as_ref().unwrap().revenue).sum();
+        let components_revenue: f64 = components.iter().map(|c| c.as_ref().unwrap().revenue).sum();
 
         // Score candidates by incremental revenue of the bundle offer.
         let mut scored: Vec<(Bundle, f64, f64)> = Vec::new();
@@ -148,8 +146,8 @@ impl FreqItemsetConfigurator {
             roots.push(merged.node);
             trace.push(revenue, start.elapsed(), roots.len());
         }
-        for i in 0..market.n_items() {
-            if let Some(c) = components[i].take() {
+        for slot in components.iter_mut() {
+            if let Some(c) = slot.take() {
                 roots.push(c.node);
             }
         }
@@ -234,10 +232,7 @@ mod tests {
         // minsup 100%: {0,1} is still frequent here (all users rated both),
         // so use a market where they don't all co-rate.
         let _ = out;
-        let w = crate::wtp::WtpMatrix::from_rows(vec![
-            vec![10.0, 0.0],
-            vec![0.0, 10.0],
-        ]);
+        let w = crate::wtp::WtpMatrix::from_rows(vec![vec![10.0, 0.0], vec![0.0, 10.0]]);
         let m2 = crate::market::Market::new(w, crate::params::Params::default());
         let out2 = PureFreqItemset::default().run(&m2);
         assert_eq!(out2.gain, 0.0);

@@ -90,6 +90,7 @@ impl<S: SearchOffer> Pool<S> {
 }
 
 impl GreedyConfigurator {
+    #[allow(clippy::too_many_arguments)]
     fn quote_into_heap<S: SearchOffer>(
         &self,
         market: &Market,
@@ -138,7 +139,8 @@ impl GreedyConfigurator {
             offers: (0..n as u32).map(|i| Some(S::init(market, i, &mut scratch))).collect(),
             versions: vec![0; n],
         };
-        let mut revenue: f64 = pool.alive().map(|i| pool.offers[i].as_ref().unwrap().revenue()).sum();
+        let mut revenue: f64 =
+            pool.alive().map(|i| pool.offers[i].as_ref().unwrap().revenue()).sum();
         let components_revenue = revenue;
         let allow_nonpositive = self.opts.merge_to_single;
 
@@ -336,10 +338,9 @@ mod tests {
     fn merge_to_single_never_worse_than_default() {
         for m in [table1(), table1_theta_zero(), complementary(), substitutes()] {
             let plain = PureGreedy::default().run(&m);
-            let deep = PureGreedy {
-                opts: GreedyOptions { merge_to_single: true, ..Default::default() },
-            }
-            .run(&m);
+            let deep =
+                PureGreedy { opts: GreedyOptions { merge_to_single: true, ..Default::default() } }
+                    .run(&m);
             assert!(
                 deep.revenue >= plain.revenue - 1e-9,
                 "merge_to_single lost revenue: {} vs {}",

@@ -56,9 +56,8 @@ impl MatchingConfigurator {
         let mut trace = IterationTrace::new();
 
         // Offer pool; `None` = consumed by a merge.
-        let mut offers: Vec<Option<S>> = (0..n as u32)
-            .map(|i| Some(S::init(market, i, &mut scratch)))
-            .collect();
+        let mut offers: Vec<Option<S>> =
+            (0..n as u32).map(|i| Some(S::init(market, i, &mut scratch))).collect();
         let mut revenue: f64 = offers.iter().map(|o| o.as_ref().unwrap().revenue()).sum();
         let components_revenue = revenue;
 
@@ -70,7 +69,11 @@ impl MatchingConfigurator {
             // ---- candidate generation -------------------------------------------
             let candidate_pairs: Vec<(usize, usize)> = if trace.iterations() == 0 {
                 if self.opts.co_rater_pruning {
-                    market.co_rated_pairs().into_iter().map(|(a, b)| (a as usize, b as usize)).collect()
+                    market
+                        .co_rated_pairs()
+                        .into_iter()
+                        .map(|(a, b)| (a as usize, b as usize))
+                        .collect()
                 } else {
                     (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect()
                 }
@@ -124,7 +127,8 @@ impl MatchingConfigurator {
             // ---- maximum-weight matching on the gain graph -----------------------
             // Compact the vertex set to the endpoints of gainful edges; all
             // other offers keep their self-loops (stay as they are).
-            let mut vmap: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+            let mut vmap: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
             let mut vback: Vec<usize> = Vec::new();
             let mut cedges = Vec::with_capacity(edges.len());
             for &(i, j, w) in &edges {
@@ -236,10 +240,7 @@ mod tests {
     #[test]
     fn reverts_to_components_on_substitutes() {
         let m = substitutes();
-        for out in [
-            PureMatching::default().run(&m),
-            MixedMatching::default().run(&m),
-        ] {
+        for out in [PureMatching::default().run(&m), MixedMatching::default().run(&m)] {
             assert!((out.revenue - out.components_revenue).abs() < 1e-9, "{}", out.algorithm);
             assert_eq!(out.gain, 0.0);
             assert_eq!(out.config.roots.len(), 2);

@@ -31,21 +31,13 @@ pub(crate) mod test_support {
 
     /// Table 1's market (θ = −0.05).
     pub fn table1() -> Market {
-        let w = WtpMatrix::from_rows(vec![
-            vec![12.0, 4.0],
-            vec![8.0, 2.0],
-            vec![5.0, 11.0],
-        ]);
+        let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
         Market::new(w, Params::default().with_theta(-0.05))
     }
 
     /// Same WTP, θ = 0 (independent items).
     pub fn table1_theta_zero() -> Market {
-        let w = WtpMatrix::from_rows(vec![
-            vec![12.0, 4.0],
-            vec![8.0, 2.0],
-            vec![5.0, 11.0],
-        ]);
+        let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
         Market::new(w, Params::default())
     }
 
@@ -64,11 +56,64 @@ pub(crate) mod test_support {
     /// A market of substitutes (θ < 0) where bundling cannot help and every
     /// algorithm must fall back to Components.
     pub fn substitutes() -> Market {
-        let w = WtpMatrix::from_rows(vec![
-            vec![10.0, 10.0],
-            vec![10.0, 10.0],
-            vec![10.0, 10.0],
-        ]);
+        let w = WtpMatrix::from_rows(vec![vec![10.0, 10.0], vec![10.0, 10.0], vec![10.0, 10.0]]);
         Market::new(w, Params::default().with_theta(-0.5))
+    }
+}
+
+#[cfg(test)]
+mod doc_claim_tests {
+    //! Pins the two numeric claims the crate-level docs make (the
+    //! `lib.rs` quickstart): the Table 1 Components baseline is exactly
+    //! $27, and mixed bundling never falls below Components — not just on
+    //! Table 1 but across randomly generated markets.
+
+    use super::test_support::table1;
+    use super::{Components, Configurator, MixedMatching};
+    use crate::market::Market;
+    use crate::params::Params;
+    use crate::wtp::WtpMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn table1_components_is_27_and_mixed_is_32() {
+        let m = table1();
+        let components = Components::optimal().run(&m);
+        assert!(
+            (components.revenue - 27.0).abs() < 1e-6,
+            "Components on Table 1 must be $27, got {}",
+            components.revenue
+        );
+        let mixed = MixedMatching::default().run(&m);
+        // $32.00 under the §4.2 upgrade semantics (see EXPERIMENTS.md).
+        assert!(
+            (mixed.revenue - 32.0).abs() < 1e-6,
+            "Mixed Matching on Table 1 must be $32, got {}",
+            mixed.revenue
+        );
+        assert!(mixed.revenue > components.revenue);
+    }
+
+    #[test]
+    fn mixed_matching_never_below_components_across_seeds() {
+        // §6's guarantee: every configurator reverts to Components when
+        // bundling cannot help, so revenue never drops below the baseline.
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n_users = rng.random_range(3..12usize);
+            let n_items = rng.random_range(2..7usize);
+            let rows: Vec<Vec<f64>> = (0..n_users)
+                .map(|_| (0..n_items).map(|_| rng.random_range(0.0..20.0)).collect())
+                .collect();
+            let theta = rng.random_range(-0.2..=0.2);
+            let m = Market::new(WtpMatrix::from_rows(rows), Params::default().with_theta(theta));
+            let base = Components::optimal().run(&m).revenue;
+            let mixed = MixedMatching::default().run(&m).revenue;
+            assert!(
+                mixed >= base - 1e-9,
+                "seed {seed} (theta {theta:.3}): mixed {mixed} below components {base}"
+            );
+        }
     }
 }

@@ -169,9 +169,7 @@ impl SearchOffer for MixedOffer {
         quote: MergeQuote,
         scratch: &mut Scratch,
     ) -> Self {
-        MixedOffer {
-            inner: mixed::commit_merge(market, a.inner, b.inner, quote.price, scratch),
-        }
+        MixedOffer { inner: mixed::commit_merge(market, a.inner, b.inner, quote.price, scratch) }
     }
 }
 

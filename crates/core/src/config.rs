@@ -77,17 +77,8 @@ impl OfferNode {
             c.validate(strategy);
         }
         covered.sort_unstable();
-        assert!(
-            covered.windows(2).all(|w| w[0] != w[1]),
-            "children of {} overlap",
-            self.bundle
-        );
-        assert_eq!(
-            covered,
-            self.bundle.items(),
-            "children of {} do not cover it",
-            self.bundle
-        );
+        assert!(covered.windows(2).all(|w| w[0] != w[1]), "children of {} overlap", self.bundle);
+        assert_eq!(covered, self.bundle.items(), "children of {} do not cover it", self.bundle);
     }
 }
 
@@ -150,8 +141,7 @@ impl BundleConfig {
                 .map(|r| {
                     let wtps = market.bundle_wtps(r.bundle.items(), &mut scratch);
                     let adoption = market.pricing_ctx().adoption;
-                    let buyers: f64 =
-                        wtps.iter().map(|&w| adoption.probability(w, r.price)).sum();
+                    let buyers: f64 = wtps.iter().map(|&w| adoption.probability(w, r.price)).sum();
                     r.price * buyers
                 })
                 .sum(),
@@ -187,12 +177,7 @@ impl BundleConfig {
     /// Monte-Carlo revenue: draw every adoption decision, sum the payments,
     /// average over `runs`. Matches [`BundleConfig::expected_revenue`]
     /// exactly in the step regime.
-    pub fn sampled_revenue<R: Rng>(
-        &self,
-        market: &Market,
-        rng: &mut R,
-        runs: usize,
-    ) -> f64 {
+    pub fn sampled_revenue<R: Rng>(&self, market: &Market, rng: &mut R, runs: usize) -> f64 {
         assert!(runs >= 1, "at least one run required");
         let mut scratch = market.scratch();
         let mut total = 0.0;
@@ -319,11 +304,7 @@ mod tests {
     use crate::wtp::WtpMatrix;
 
     fn market() -> Market {
-        let w = WtpMatrix::from_rows(vec![
-            vec![12.0, 4.0],
-            vec![8.0, 2.0],
-            vec![5.0, 11.0],
-        ]);
+        let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
         Market::new(w, Params::default().with_theta(-0.05))
     }
 
@@ -440,10 +421,7 @@ mod tests {
     #[test]
     fn display_abbreviates_large_bundles() {
         let big = Bundle::new((0..30).collect());
-        let c = BundleConfig {
-            strategy: Strategy::Pure,
-            roots: vec![OfferNode::leaf(big, 99.0)],
-        };
+        let c = BundleConfig { strategy: Strategy::Pure, roots: vec![OfferNode::leaf(big, 99.0)] };
         let s = c.to_string();
         assert!(s.contains("+24 more"), "{s}");
     }

@@ -3,7 +3,7 @@
 
 use crate::bundle::Bundle;
 use crate::params::Params;
-use crate::pricing::{self, PricedOutcome, PriceMode, PricingCtx};
+use crate::pricing::{self, PriceMode, PricedOutcome, PricingCtx};
 use crate::wtp::WtpMatrix;
 
 /// A market instance: `M` consumers, `N` items, WTP, and parameters.
@@ -62,7 +62,11 @@ impl Market {
 
     /// Per-user raw WTP sums over `items` (only users with a positive sum),
     /// sorted by user id. Cost: O(Σ nnz of the item columns + sort).
-    pub fn bundle_user_sums<'a>(&self, items: &[u32], scratch: &'a mut Scratch) -> &'a [(u32, f64)] {
+    pub fn bundle_user_sums<'a>(
+        &self,
+        items: &[u32],
+        scratch: &'a mut Scratch,
+    ) -> &'a [(u32, f64)] {
         scratch.pairs.clear();
         for &i in items {
             for &(u, w) in self.wtp.col(i) {
@@ -174,11 +178,7 @@ mod tests {
 
     /// Table 1's market (θ = −0.05).
     pub(crate) fn table1() -> Market {
-        let w = WtpMatrix::from_rows(vec![
-            vec![12.0, 4.0],
-            vec![8.0, 2.0],
-            vec![5.0, 11.0],
-        ]);
+        let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
         Market::new(w, Params::default().with_theta(-0.05))
     }
 

@@ -307,7 +307,11 @@ pub fn commit_merge_many(
 
 /// Deterministic (threshold) bottom-up evaluation of a mixed offer tree:
 /// exact under step adoption; the modal outcome under a soft sigmoid.
-pub fn evaluate_tree_deterministic(market: &Market, root: &OfferNode, scratch: &mut Scratch) -> f64 {
+pub fn evaluate_tree_deterministic(
+    market: &Market,
+    root: &OfferNode,
+    scratch: &mut Scratch,
+) -> f64 {
     let states = eval_node(market, root, scratch, &mut Decide::Threshold);
     states.iter().map(|s| s.paid).sum()
 }
@@ -388,7 +392,12 @@ fn eval_node(
         let addon_wtp = params.set_wtp((s_b - s_held).max(0.0), addon_count.max(1));
         let margin = adoption.alpha * addon_wtp - (node.price - q) + adoption.epsilon;
         if decide.adopt(&adoption, margin) {
-            out.push(UserState { user: u, held_sum: s_b, paid: node.price, held_count: size as u32 });
+            out.push(UserState {
+                user: u,
+                held_sum: s_b,
+                paid: node.price,
+                held_count: size as u32,
+            });
         } else if let Some(s) = prior {
             out.push(s);
         }
@@ -405,11 +414,7 @@ mod tests {
 
     /// Table 1's market (θ = −0.05).
     fn market() -> Market {
-        let w = WtpMatrix::from_rows(vec![
-            vec![12.0, 4.0],
-            vec![8.0, 2.0],
-            vec![5.0, 11.0],
-        ]);
+        let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
         Market::new(w, Params::default().with_theta(-0.05))
     }
 

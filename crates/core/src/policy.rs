@@ -89,10 +89,7 @@ fn flatten(market: &Market, root: &OfferNode, scratch: &mut Scratch) -> NodeWtps
 
 /// WTP of `user` for node `idx` (0 when the user has no interest).
 fn wtp_of(nw: &NodeWtps, idx: usize, user: u32) -> f64 {
-    nw.wtps[idx]
-        .binary_search_by_key(&user, |e| e.0)
-        .map(|k| nw.wtps[idx][k].1)
-        .unwrap_or(0.0)
+    nw.wtps[idx].binary_search_by_key(&user, |e| e.0).map(|k| nw.wtps[idx][k].1).unwrap_or(0.0)
 }
 
 fn naive_affordable(market: &Market, root: &OfferNode, scratch: &mut Scratch) -> f64 {
@@ -156,11 +153,7 @@ mod tests {
 
     /// Table 1's market (θ = −0.05).
     fn market() -> Market {
-        let w = WtpMatrix::from_rows(vec![
-            vec![12.0, 4.0],
-            vec![8.0, 2.0],
-            vec![5.0, 11.0],
-        ]);
+        let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
         Market::new(w, Params::default().with_theta(-0.05))
     }
 

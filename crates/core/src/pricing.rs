@@ -184,9 +184,8 @@ fn optimize_grid(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
             raw += sum_raw[b];
             suffix[b] = (buyers, raw);
         }
-        for b in 1..=t {
+        for (b, &(buyers, raw)) in suffix.iter().enumerate().take(t + 1).skip(1) {
             let price = b as f64 * step;
-            let (buyers, raw) = suffix[b];
             if buyers == 0.0 {
                 continue;
             }
@@ -252,8 +251,13 @@ pub fn optimize_with_price_list(values: &[f64], ctx: &PricingCtx, prices: &[f64]
         }
         let utility = ctx.objective(price, buyers, surplus);
         if utility > best.utility || (utility == best.utility && price < best.price) {
-            best =
-                PricedOutcome { price, expected_buyers: buyers, revenue: price * buyers, surplus, utility };
+            best = PricedOutcome {
+                price,
+                expected_buyers: buyers,
+                revenue: price * buyers,
+                surplus,
+                utility,
+            };
         }
     }
     best
@@ -307,7 +311,12 @@ mod tests {
         let exact = optimize(&values, &step_ctx());
         let grid = optimize(&values, &PricingCtx { mode: PriceMode::Grid, ..step_ctx() });
         assert!(grid.revenue <= exact.revenue + 1e-9);
-        assert!(grid.revenue >= 0.95 * exact.revenue, "grid {} vs exact {}", grid.revenue, exact.revenue);
+        assert!(
+            grid.revenue >= 0.95 * exact.revenue,
+            "grid {} vs exact {}",
+            grid.revenue,
+            exact.revenue
+        );
     }
 
     #[test]
@@ -356,9 +365,7 @@ mod tests {
         let costly = optimize(&[10.0, 7.0, 4.0, 2.0], &PricingCtx { unit_cost: 6.0, ..step_ctx() });
         assert!(costly.price >= cheap.price);
         // Profit accounting: utility = (p - c) * buyers.
-        assert!(
-            (costly.utility - (costly.price - 6.0) * costly.expected_buyers).abs() < 1e-9
-        );
+        assert!((costly.utility - (costly.price - 6.0) * costly.expected_buyers).abs() < 1e-9);
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub fn enumerate_subset_revenues(market: &Market) -> SubsetRevenues {
     let mut mask = 0usize;
     // DFS over the subset lattice: at depth `item` branch on item
     // excluded/included, maintaining the per-consumer sums incrementally.
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         item: usize,
         n: usize,
@@ -147,8 +148,7 @@ fn outcome_from_masks(
             revenue += table.revenue[m as usize];
         }
     }
-    let components_revenue: f64 =
-        (0..table.n_items).map(|i| table.revenue[1usize << i]).sum();
+    let components_revenue: f64 = (0..table.n_items).map(|i| table.revenue[1usize << i]).sum();
     let mut trace = IterationTrace::new();
     trace.push(revenue, solve_time, roots.len());
     let config = BundleConfig { strategy: Strategy::Pure, roots };
@@ -258,10 +258,7 @@ mod tests {
         // θ > 0 inflates multi-item subsets only; the singles row of the
         // table must be unchanged while pairs grow.
         let build = |theta: f64| {
-            let w = WtpMatrix::from_rows(vec![
-                vec![6.0, 4.0],
-                vec![3.0, 7.0],
-            ]);
+            let w = WtpMatrix::from_rows(vec![vec![6.0, 4.0], vec![3.0, 7.0]]);
             Market::new(w, Params::default().with_theta(theta))
         };
         let t0 = enumerate_subset_revenues(&build(0.0));
@@ -305,9 +302,9 @@ mod tests {
         let t = enumerate_subset_revenues(&m);
         // Zero out revenues of subsets larger than 2 for the capped DP.
         let mut capped = t.revenue.clone();
-        for mask in 1usize..capped.len() {
+        for (mask, r) in capped.iter_mut().enumerate().skip(1) {
             if (mask as u32).count_ones() > 2 {
-                capped[mask] = 0.0;
+                *r = 0.0;
             }
         }
         let dp = revmax_ilp::subset_dp::solve_all_subsets(3, &capped);

@@ -151,7 +151,11 @@ impl std::fmt::Display for DatasetSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let sf = self.star_fractions();
         let pf = self.price_fractions();
-        writeln!(f, "users: {}  items: {}  ratings: {}", self.n_users, self.n_items, self.n_ratings)?;
+        writeln!(
+            f,
+            "users: {}  items: {}  ratings: {}",
+            self.n_users, self.n_items, self.n_ratings
+        )?;
         writeln!(
             f,
             "stars 1..5: {:.1}% {:.1}% {:.1}% {:.1}% {:.1}%",
@@ -171,7 +175,10 @@ impl std::fmt::Display for DatasetSummary {
         write!(
             f,
             "degrees: user >= {} (mean {:.1}), item >= {} (mean {:.1})",
-            self.min_user_degree, self.mean_user_degree, self.min_item_degree, self.mean_item_degree
+            self.min_user_degree,
+            self.mean_user_degree,
+            self.min_item_degree,
+            self.mean_item_degree
         )
     }
 }
@@ -214,10 +221,7 @@ mod tests {
         RatingsData::new(
             1,
             1,
-            vec![
-                Rating { user: 0, item: 0, stars: 5 },
-                Rating { user: 0, item: 0, stars: 4 },
-            ],
+            vec![Rating { user: 0, item: 0, stars: 5 }, Rating { user: 0, item: 0, stars: 4 }],
             vec![1.0],
         );
     }

@@ -118,7 +118,9 @@ impl AmazonBooksConfig {
 
         // --- 1. Degree sequences -------------------------------------------------
         let user_deg: Vec<usize> = (0..self.n_users)
-            .map(|_| self.min_degree + exponential(&mut rng, self.mean_extra_degree).round() as usize)
+            .map(|_| {
+                self.min_degree + exponential(&mut rng, self.mean_extra_degree).round() as usize
+            })
             .collect();
         let total_stubs: usize = user_deg.iter().sum();
         assert!(
@@ -152,11 +154,11 @@ impl AmazonBooksConfig {
         // --- 2. Stub matching ----------------------------------------------------
         let mut user_stubs: Vec<u32> = Vec::with_capacity(total_stubs);
         for (u, &d) in user_deg.iter().enumerate() {
-            user_stubs.extend(std::iter::repeat(u as u32).take(d));
+            user_stubs.extend(std::iter::repeat_n(u as u32, d));
         }
         let mut item_stubs: Vec<u32> = Vec::with_capacity(total_stubs);
         for (i, &d) in item_deg.iter().enumerate() {
-            item_stubs.extend(std::iter::repeat(i as u32).take(d));
+            item_stubs.extend(std::iter::repeat_n(i as u32, d));
         }
         user_stubs.shuffle(&mut rng);
         item_stubs.shuffle(&mut rng);
@@ -177,9 +179,8 @@ impl AmazonBooksConfig {
 
         // --- 4. Stars from per-item Dirichlet profiles ---------------------------
         let alpha: Vec<f64> = hist.iter().map(|h| h * self.rating_concentration).collect();
-        let profiles: Vec<WeightedSampler> = (0..n_items)
-            .map(|_| WeightedSampler::new(&dirichlet(&mut rng, &alpha)))
-            .collect();
+        let profiles: Vec<WeightedSampler> =
+            (0..n_items).map(|_| WeightedSampler::new(&dirichlet(&mut rng, &alpha))).collect();
         let ratings: Vec<Rating> = core
             .ratings
             .iter()
@@ -262,12 +263,8 @@ mod tests {
             sum[r.item as usize] += r.stars as f64;
             cnt[r.item as usize] += 1;
         }
-        let means: Vec<f64> = sum
-            .iter()
-            .zip(&cnt)
-            .filter(|(_, &c)| c > 0)
-            .map(|(s, &c)| s / c as f64)
-            .collect();
+        let means: Vec<f64> =
+            sum.iter().zip(&cnt).filter(|(_, &c)| c > 0).map(|(s, &c)| s / c as f64).collect();
         let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(hi - lo > 0.5, "item mean stars range too narrow: {lo}..{hi}");

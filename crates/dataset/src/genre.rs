@@ -141,8 +141,7 @@ mod tests {
             let mut best: f64 = 0.0;
             for (g, &sz) in cfg.genre_sizes.iter().enumerate() {
                 let start: usize = cfg.genre_sizes[..g].iter().sum();
-                let mean: f64 =
-                    row[start..start + sz].iter().sum::<f64>() / sz as f64;
+                let mean: f64 = row[start..start + sz].iter().sum::<f64>() / sz as f64;
                 best = best.max(mean);
             }
             fav_means += best;
@@ -153,10 +152,7 @@ mod tests {
 
     #[test]
     fn genre_of_maps_boundaries() {
-        let cfg = GenreClusterConfig {
-            genre_sizes: vec![2, 3],
-            ..GenreClusterConfig::cable_tv()
-        };
+        let cfg = GenreClusterConfig { genre_sizes: vec![2, 3], ..GenreClusterConfig::cable_tv() };
         assert_eq!(cfg.genre_of(0), 0);
         assert_eq!(cfg.genre_of(1), 0);
         assert_eq!(cfg.genre_of(2), 1);
@@ -172,10 +168,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "popularity")]
     fn popularity_arity_checked() {
-        let cfg = GenreClusterConfig {
-            genre_popularity: vec![1.0],
-            ..GenreClusterConfig::cable_tv()
-        };
+        let cfg =
+            GenreClusterConfig { genre_popularity: vec![1.0], ..GenreClusterConfig::cable_tv() };
         cfg.generate(0);
     }
 }

@@ -80,15 +80,16 @@ pub fn load(ratings_path: &Path, prices_path: &Path) -> io::Result<RatingsData> 
     }
     let n_users = if ratings.is_empty() { 0 } else { max_user as usize + 1 };
     // RatingsData::new panics on invariant violations; convert to errors.
-    std::panic::catch_unwind(|| RatingsData::new(n_users, prices.len(), ratings, prices))
-        .map_err(|e| {
+    std::panic::catch_unwind(|| RatingsData::new(n_users, prices.len(), ratings, prices)).map_err(
+        |e| {
             let msg = e
                 .downcast_ref::<String>()
                 .cloned()
                 .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
                 .unwrap_or_else(|| "invalid dataset".into());
             bad(msg)
-        })
+        },
+    )
 }
 
 fn parse<T: std::str::FromStr>(field: Option<&str>, name: &str, lineno: usize) -> io::Result<T> {
@@ -96,10 +97,7 @@ fn parse<T: std::str::FromStr>(field: Option<&str>, name: &str, lineno: usize) -
         io::Error::new(io::ErrorKind::InvalidData, format!("missing {name} on line {lineno}"))
     })?;
     raw.trim().parse().map_err(|_| {
-        io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("bad {name} '{raw}' on line {lineno}"),
-        )
+        io::Error::new(io::ErrorKind::InvalidData, format!("bad {name} '{raw}' on line {lineno}"))
     })
 }
 

@@ -57,10 +57,8 @@ pub fn trim(n_users: usize, n_items: usize, ratings: &[Rating], min_degree: usiz
             }
         }
     }
-    let kept_users: Vec<u32> =
-        (0..n_users as u32).filter(|&u| user_alive[u as usize]).collect();
-    let kept_items: Vec<u32> =
-        (0..n_items as u32).filter(|&i| item_alive[i as usize]).collect();
+    let kept_users: Vec<u32> = (0..n_users as u32).filter(|&u| user_alive[u as usize]).collect();
+    let kept_items: Vec<u32> = (0..n_items as u32).filter(|&i| item_alive[i as usize]).collect();
     let user_map: std::collections::HashMap<u32, u32> =
         kept_users.iter().enumerate().map(|(new, &old)| (old, new as u32)).collect();
     let item_map: std::collections::HashMap<u32, u32> =

@@ -168,11 +168,8 @@ mod tests {
         assert_eq!(c.ratings().len(), 3 * d.ratings().len());
         // Clone 2's ratings mirror the originals.
         let orig = d.ratings()[0];
-        let shifted = Rating {
-            user: orig.user + d.n_users() as u32,
-            item: orig.item,
-            stars: orig.stars,
-        };
+        let shifted =
+            Rating { user: orig.user + d.n_users() as u32, item: orig.item, stars: orig.stars };
         assert!(c.ratings().contains(&shifted));
     }
 
@@ -211,10 +208,12 @@ mod tests {
         // Deterministic.
         assert_eq!(sample_items_correlated(&d, 12, 7), corr);
         // Averaged over seeds, the correlated sample retains more ratings
-        // (co-rated neighbourhoods) than the uniform sample.
+        // (co-rated neighbourhoods) than the uniform sample. Per-seed
+        // outcomes are noisy (either sampler can win on a single draw), so
+        // average over enough seeds for the directional claim to be stable.
         let mut corr_total = 0usize;
         let mut unif_total = 0usize;
-        for seed in 0..8 {
+        for seed in 0..32 {
             corr_total += sample_items_correlated(&d, 12, seed).ratings().len();
             unif_total += sample_items(&d, 12, seed).ratings().len();
         }

@@ -59,13 +59,7 @@ mod tests {
     fn classic_example() {
         let db = TransactionDb::from_transactions(
             5,
-            &[
-                vec![0, 1, 4],
-                vec![1, 3],
-                vec![1, 2],
-                vec![0, 1, 3],
-                vec![0, 2],
-            ],
+            &[vec![0, 1, 4], vec![1, 3], vec![1, 2], vec![0, 1, 3], vec![0, 2]],
         );
         let got = apriori(&db, 2);
         let sets: Vec<(Vec<u32>, u32)> = got.into_iter().map(|s| (s.items, s.support)).collect();

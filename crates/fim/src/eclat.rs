@@ -78,13 +78,7 @@ mod tests {
         // Classic 5-transaction example.
         TransactionDb::from_transactions(
             5,
-            &[
-                vec![0, 1, 4],
-                vec![1, 3],
-                vec![1, 2],
-                vec![0, 1, 3],
-                vec![0, 2],
-            ],
+            &[vec![0, 1, 4], vec![1, 3], vec![1, 2], vec![0, 1, 3], vec![0, 2]],
         )
     }
 

@@ -181,9 +181,7 @@ mod tests {
         let all = mine_frequent(db, minsup, EclatLimit::Unbounded).unwrap();
         let mut out: Vec<Itemset> = all
             .iter()
-            .filter(|s| {
-                !all.iter().any(|t| t.items.len() > s.items.len() && s.is_subset_of(t))
-            })
+            .filter(|s| !all.iter().any(|t| t.items.len() > s.items.len() && s.is_subset_of(t)))
             .cloned()
             .collect();
         out.sort_by(|a, b| a.items.cmp(&b.items));
@@ -200,13 +198,7 @@ mod tests {
     fn textbook_example() {
         let db = TransactionDb::from_transactions(
             5,
-            &[
-                vec![0, 1, 4],
-                vec![1, 3],
-                vec![1, 2],
-                vec![0, 1, 3],
-                vec![0, 2],
-            ],
+            &[vec![0, 1, 4], vec![1, 3], vec![1, 2], vec![0, 1, 3], vec![0, 2]],
         );
         for minsup in 1..=5 {
             check(&db, minsup);
@@ -228,10 +220,8 @@ mod tests {
     #[test]
     fn pep_merges_equal_support_items() {
         // Items 0 and 1 always co-occur: PEP should fuse them.
-        let db = TransactionDb::from_transactions(
-            3,
-            &[vec![0, 1], vec![0, 1], vec![0, 1, 2], vec![2]],
-        );
+        let db =
+            TransactionDb::from_transactions(3, &[vec![0, 1], vec![0, 1], vec![0, 1, 2], vec![2]]);
         let got = mine_maximal(&db, 2);
         assert!(got.iter().any(|s| s.items == vec![0, 1] && s.support == 3));
         for minsup in 1..=4 {

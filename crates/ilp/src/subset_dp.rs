@@ -150,9 +150,9 @@ mod tests {
         let n = 8;
         let mut weights = vec![0.0; 1 << n];
         let mut state = 0x1234_5678_9abc_def0u64;
-        for m in 1..(1usize << n) {
+        for w in weights.iter_mut().skip(1) {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            weights[m] = ((state >> 33) % 1000) as f64 / 10.0;
+            *w = ((state >> 33) % 1000) as f64 / 10.0;
         }
         let dp = solve_all_subsets(n, &weights);
         let mut sp = SetPacking::new(n);

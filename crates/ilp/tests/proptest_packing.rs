@@ -57,10 +57,10 @@ proptest! {
     fn subset_dp_matches_branch_and_bound(n in 1usize..8, seed in 0u64..500) {
         let mut weights = vec![0.0; 1usize << n];
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(7);
-        for m in 1..(1usize << n) {
+        for w in weights.iter_mut().skip(1) {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             // Mix in some negative weights to exercise "leave unsold".
-            weights[m] = ((state >> 33) % 200) as f64 - 20.0;
+            *w = ((state >> 33) % 200) as f64 - 20.0;
         }
         let dp = solve_all_subsets(n, &weights);
         let mut sp = SetPacking::new(n);

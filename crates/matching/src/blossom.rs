@@ -74,7 +74,8 @@ fn solve_matching(n: usize, edges: &[(usize, usize, i64)], maxcardinality: bool)
     let mut out_edges = Vec::new();
     let mut weight = 0i64;
     // Recover the matched pairs and total weight from the mate array.
-    let mut best_pair: std::collections::HashMap<(usize, usize), i64> = std::collections::HashMap::new();
+    let mut best_pair: std::collections::HashMap<(usize, usize), i64> =
+        std::collections::HashMap::new();
     for &(u, v, w) in edges {
         let key = (u.min(v), u.max(v));
         let e = best_pair.entry(key).or_insert(i64::MIN);
@@ -160,7 +161,7 @@ impl Solver {
             neighbend[v].push(2 * k);
         }
         let mut dualvar = vec![2.0 * maxweight as f64; n];
-        dualvar.extend(std::iter::repeat(0.0).take(n));
+        dualvar.extend(std::iter::repeat_n(0.0, n));
         Solver {
             nvertex: n,
             nedge,
@@ -175,7 +176,7 @@ impl Solver {
             inblossom: (0..n).collect(),
             blossomparent: vec![NONE; 2 * n],
             blossomchilds: vec![None; 2 * n],
-            blossombase: (0..n as isize).chain(std::iter::repeat(NONE).take(n)).collect(),
+            blossombase: (0..n as isize).chain(std::iter::repeat_n(NONE, n)).collect(),
             blossomendps: vec![None; 2 * n],
             bestedge: vec![NONE; 2 * n],
             blossombestedges: vec![None; 2 * n],
@@ -645,16 +646,10 @@ impl Solver {
                 // max-cardinality mode delta1 (cutting the stage when the
                 // cheapest vertex dual hits zero) is only a last resort —
                 // vertex duals may go negative to keep growing cardinality.
-                let min_dual = self.dualvar[..nvertex]
-                    .iter()
-                    .copied()
-                    .fold(f64::INFINITY, f64::min)
-                    .max(0.0);
-                let (mut deltatype, mut delta) = if self.maxcardinality {
-                    (-1i8, f64::INFINITY)
-                } else {
-                    (1i8, min_dual)
-                };
+                let min_dual =
+                    self.dualvar[..nvertex].iter().copied().fold(f64::INFINITY, f64::min).max(0.0);
+                let (mut deltatype, mut delta) =
+                    if self.maxcardinality { (-1i8, f64::INFINITY) } else { (1i8, min_dual) };
                 let mut deltaedge = NONE;
                 let mut deltablossom = NONE;
                 for v in 0..nvertex {
@@ -759,9 +754,9 @@ impl Solver {
         debug_assert!(self.verify_optimum());
         // Transform mate[] from endpoint indices to vertex indices.
         let mut mate: Vec<isize> = vec![NONE; nvertex];
-        for v in 0..nvertex {
+        for (v, m) in mate.iter_mut().enumerate() {
             if self.mate[v] >= 0 {
-                mate[v] = self.endpoint[self.mate[v] as usize] as isize;
+                *m = self.endpoint[self.mate[v] as usize] as isize;
             }
         }
         for v in 0..nvertex {
@@ -808,8 +803,7 @@ impl Solver {
         // that max-cardinality mode permits), and unmatched vertices must
         // sit at the offset (complementary slackness).
         let offset = if self.maxcardinality {
-            (-self.dualvar[..self.nvertex].iter().copied().fold(f64::INFINITY, f64::min))
-                .max(0.0)
+            (-self.dualvar[..self.nvertex].iter().copied().fold(f64::INFINITY, f64::min)).max(0.0)
         } else {
             0.0
         };
@@ -828,10 +822,6 @@ impl Solver {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn weight_of(n: usize, edges: &[(usize, usize, i64)]) -> i64 {
-        max_weight_matching(n, edges).weight
-    }
 
     #[test]
     fn empty_graph() {

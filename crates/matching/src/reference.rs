@@ -9,7 +9,10 @@
 /// Exact maximum-weight matching by subset DP. Panics if `n > 24` (memory).
 ///
 /// Returns `(weight, mate)` where `mate[v]` is `Some(w)` for matched pairs.
-pub fn brute_force_max_weight(n: usize, edges: &[(usize, usize, i64)]) -> (i64, Vec<Option<usize>>) {
+pub fn brute_force_max_weight(
+    n: usize,
+    edges: &[(usize, usize, i64)],
+) -> (i64, Vec<Option<usize>>) {
     assert!(n <= 24, "brute force matcher limited to 24 vertices (got {n})");
     if n == 0 {
         return (0, Vec::new());
@@ -42,7 +45,7 @@ pub fn brute_force_max_weight(n: usize, edges: &[(usize, usize, i64)]) -> (i64, 
             let v = rest.trailing_zeros() as usize;
             rest &= rest - 1;
             let w = best_w[u][v];
-            if w > i64::MIN && w >= 0 {
+            if w >= 0 {
                 let cand = dp[without_u & !(1 << v)] + w;
                 if cand > best {
                     best = cand;

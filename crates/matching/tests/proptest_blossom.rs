@@ -9,9 +9,8 @@ use revmax_matching::{max_cardinality_matching, max_weight_matching, Matching};
 /// A random graph: vertex count plus an edge list of (u, v, w).
 fn arb_graph(max_n: usize, max_w: i64) -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>)> {
     (2usize..=max_n).prop_flat_map(move |n| {
-        let edge = (0..n, 0..n, 0..=max_w).prop_filter_map("self-loop", |(u, v, w)| {
-            (u != v).then_some((u, v, w))
-        });
+        let edge = (0..n, 0..n, 0..=max_w)
+            .prop_filter_map("self-loop", |(u, v, w)| (u != v).then_some((u, v, w)));
         (Just(n), proptest::collection::vec(edge, 0..=(n * (n - 1) / 2 + 4)))
     })
 }

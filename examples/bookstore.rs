@@ -62,7 +62,12 @@ fn main() {
             brief(&r.bundle)
         );
         for c in &r.children {
-            println!("      subsumes {:>3} books at ${:>7.2}  {}", c.bundle.len(), c.price, brief(&c.bundle));
+            println!(
+                "      subsumes {:>3} books at ${:>7.2}  {}",
+                c.bundle.len(),
+                c.price,
+                brief(&c.bundle)
+            );
         }
     }
 }

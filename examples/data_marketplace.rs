@@ -41,10 +41,7 @@ fn main() {
     // Complementary data products (reports are worth more with the raw
     // data), a two-sided objective, and moderate stochasticity in adoption
     // (data buyers trial before committing).
-    let params = Params::default()
-        .with_theta(0.08)
-        .with_objective_alpha(0.7)
-        .with_gamma(2.0);
+    let params = Params::default().with_theta(0.08).with_objective_alpha(0.7).with_gamma(2.0);
     let market = Market::new(WtpMatrix::from_rows(rows), params);
 
     let components = Components::optimal().run(&market);

@@ -15,7 +15,12 @@ fn main() {
         vec![5.0, 11.0], // u3
     ]);
     let market = Market::new(wtp, Params::default().with_theta(-0.05));
-    println!("market: {} consumers x {} items, total WTP ${:.2}\n", market.n_users(), market.n_items(), market.total_wtp());
+    println!(
+        "market: {} consumers x {} items, total WTP ${:.2}\n",
+        market.n_users(),
+        market.n_items(),
+        market.total_wtp()
+    );
 
     for method in [
         Box::new(Components::optimal()) as Box<dyn Configurator>,

@@ -56,10 +56,7 @@ fn single_item_market() {
 
 #[test]
 fn no_users_market() {
-    let m = Market::new(
-        WtpMatrix::from_triples(0, 3, vec![], None),
-        Params::default(),
-    );
+    let m = Market::new(WtpMatrix::from_triples(0, 3, vec![], None), Params::default());
     for c in all_configurators() {
         let out = c.run(&m);
         out.config.validate(3);
@@ -103,11 +100,7 @@ fn zero_size_cap_rejected() {
 #[test]
 fn k_equals_one_is_components_everywhere() {
     let m = Market::new(
-        WtpMatrix::from_rows(vec![
-            vec![9.0, 2.0, 4.0],
-            vec![3.0, 8.0, 1.0],
-            vec![5.0, 5.0, 5.0],
-        ]),
+        WtpMatrix::from_rows(vec![vec![9.0, 2.0, 4.0], vec![3.0, 8.0, 1.0], vec![5.0, 5.0, 5.0]]),
         Params::default().with_size_cap(SizeCap::AtMost(1)),
     );
     let base = Components::optimal().run(&m).revenue;

@@ -5,11 +5,7 @@ use revmax::core::prelude::*;
 
 /// Table 1's WTP matrix.
 fn table1_market(theta: f64) -> Market {
-    let w = WtpMatrix::from_rows(vec![
-        vec![12.0, 4.0],
-        vec![8.0, 2.0],
-        vec![5.0, 11.0],
-    ]);
+    let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
     Market::new(w, Params::default().with_theta(theta))
 }
 

@@ -120,7 +120,13 @@ fn user_cloning_scales_revenue_linearly() {
 #[test]
 fn csv_roundtrip_preserves_results() {
     let data = AmazonBooksConfig::small().generate(17);
-    let dir = std::env::temp_dir().join("revmax_integration_csv");
+    // Unique per-process dir so concurrent `cargo test` invocations (and
+    // stale files from aborted runs) cannot collide on the CSV paths.
+    let dir = std::env::temp_dir().join(format!(
+        "revmax_integration_csv_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
     std::fs::create_dir_all(&dir).unwrap();
     let rp = dir.join("ratings.csv");
     let pp = dir.join("prices.csv");
@@ -142,6 +148,7 @@ fn csv_roundtrip_preserves_results() {
         PureGreedy::default().run(&mk(&data)).revenue,
         PureGreedy::default().run(&mk(&back)).revenue
     );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

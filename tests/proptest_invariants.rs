@@ -16,8 +16,10 @@ fn arb_market(
     (2usize..=max_users, 2usize..=max_items, -20i32..=20).prop_flat_map(|(m, n, theta_c)| {
         proptest::collection::vec(proptest::collection::vec(0u32..200, n), m).prop_map(
             move |grid| {
-                let rows: Vec<Vec<f64>> =
-                    grid.into_iter().map(|r| r.into_iter().map(|x| x as f64 / 10.0).collect()).collect();
+                let rows: Vec<Vec<f64>> = grid
+                    .into_iter()
+                    .map(|r| r.into_iter().map(|x| x as f64 / 10.0).collect())
+                    .collect();
                 let theta = theta_c as f64 / 100.0;
                 Market::new(WtpMatrix::from_rows(rows), Params::default().with_theta(theta))
             },
@@ -31,8 +33,7 @@ fn check_outcome(m: &Market, out: &revmax::core::config::Outcome) {
     // Revenue within bounds: aggregate WTP, inflated by complementarity
     // (θ > 0 raises every bundle's WTP by (1+θ)) and the adoption bias.
     assert!(out.revenue >= -1e-9, "{}: negative revenue", out.algorithm);
-    let bound =
-        m.total_wtp() * (1.0 + m.params().theta.max(0.0)) * m.params().adoption_bias;
+    let bound = m.total_wtp() * (1.0 + m.params().theta.max(0.0)) * m.params().adoption_bias;
     assert!(
         out.revenue <= bound + 1e-6,
         "{}: revenue {} above aggregate WTP bound {}",
@@ -58,8 +59,7 @@ fn check_outcome(m: &Market, out: &revmax::core::config::Outcome) {
             let mut stack = vec![root];
             while let Some(node) = stack.pop() {
                 if !node.children.is_empty() {
-                    let max_child =
-                        node.children.iter().map(|c| c.price).fold(f64::MIN, f64::max);
+                    let max_child = node.children.iter().map(|c| c.price).fold(f64::MIN, f64::max);
                     let sum_child: f64 = node.children.iter().map(|c| c.price).sum();
                     assert!(
                         node.price > max_child - 1e-9,
@@ -129,9 +129,9 @@ proptest! {
         let table = revmax::core::wsp::enumerate_subset_revenues(&capped);
         let n = capped.n_items();
         let mut weights = table.revenue.clone();
-        for mask in 1..weights.len() {
+        for (mask, w) in weights.iter_mut().enumerate().skip(1) {
             if (mask as u32).count_ones() > 2 {
-                weights[mask] = 0.0;
+                *w = 0.0;
             }
         }
         let dp = revmax::ilp::subset_dp::solve_all_subsets(n, &weights);

@@ -1,0 +1,272 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API the revmax benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — with a simple but honest measurement loop: a warm-up phase to
+//! estimate per-iteration cost, then timed batches reported as
+//! mean / min / max per iteration. No statistical analysis, HTML reports,
+//! or baseline comparison; enough for `cargo bench` to compile, run, and
+//! print usable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's historic name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    samples: usize,
+    measurement_time: Duration,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters_total: u64,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: estimate per-iteration cost (and pay one-time caches).
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        let warmup_budget = Duration::from_millis(25);
+        while warmup_start.elapsed() < warmup_budget {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters.max(1) as u32;
+
+        // Size batches so `samples` batches fit the measurement budget.
+        let budget_per_sample = self.measurement_time / self.samples as u32;
+        let batch = if per_iter.is_zero() {
+            1024
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+        };
+
+        let mut durations = Vec::with_capacity(self.samples);
+        let mut iters_total = 0u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            durations.push(t.elapsed() / batch as u32);
+            iters_total += batch;
+        }
+        let min = *durations.iter().min().unwrap();
+        let max = *durations.iter().max().unwrap();
+        let mean = durations.iter().sum::<Duration>() / durations.len() as u32;
+        *self.result = Some(Sample { mean, min, max, iters_total });
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_millis(400) }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        run_one(None, id.into(), sample_size, measurement_time, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), id.into(), self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), id.into(), self.sample_size, self.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: BenchmarkId,
+    samples: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    let mut result = None;
+    let mut bencher = Bencher { samples, measurement_time, result: &mut result };
+    f(&mut bencher);
+    match result {
+        Some(s) => println!(
+            "{label:<48} time: [{} {} {}]  ({} iters)",
+            fmt_duration(s.min),
+            fmt_duration(s.mean),
+            fmt_duration(s.max),
+            s.iters_total
+        ),
+        None => println!("{label:<48} (no measurement: closure never called iter)"),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).measurement_time(Duration::from_millis(4));
+        let data = vec![1u64, 2, 3];
+        g.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>());
+        });
+        g.finish();
+    }
+}
