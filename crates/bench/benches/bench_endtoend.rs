@@ -1,5 +1,9 @@
 //! Criterion macrobench: the four proposed configurators end to end on the
-//! small synthetic market (paper-shape data at unit-test scale).
+//! small synthetic market (paper-shape data at unit-test scale), plus
+//! 1-thread vs 4-thread variants of the two matching configurators so the
+//! parallel-execution-layer speedup is visible in the criterion output and
+//! the BENCH_*.json trajectory. Results are bit-identical across the
+//! thread variants (`DESIGN.md` §6) — only the wall clock may differ.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use revmax_bench::args::Scale;
@@ -28,5 +32,24 @@ fn bench_endtoend(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_endtoend);
+fn bench_endtoend_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("endtoend_small_threads");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        let market = data::market(
+            Scale::Small,
+            2015,
+            Params::default().with_threads(Threads::Fixed(threads)),
+        );
+        g.bench_function(format!("pure_matching_{threads}thread"), |b| {
+            b.iter(|| PureMatching::default().run(std::hint::black_box(&market)))
+        });
+        g.bench_function(format!("mixed_matching_{threads}thread"), |b| {
+            b.iter(|| MixedMatching::default().run(std::hint::black_box(&market)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_endtoend, bench_endtoend_threads);
 criterion_main!(benches);

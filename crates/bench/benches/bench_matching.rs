@@ -2,6 +2,7 @@
 //! graph sizes/densities (the per-iteration substrate of Algorithm 1).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revmax_matching::gain::GainGraph;
 use revmax_matching::max_weight_matching;
 
 fn random_graph(n: usize, avg_degree: usize, seed: u64) -> Vec<(usize, usize, i64)> {
@@ -38,5 +39,32 @@ fn bench_matching(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_matching);
+/// The gain-graph reduction (self-loops + pair weights → matching over
+/// positive gains), 1-thread vs 4-thread gain-matrix construction.
+/// Results are identical across the variants (`DESIGN.md` §6).
+fn bench_gain_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gain_graph");
+    g.sample_size(20);
+    let n = 400usize;
+    let mut graph = GainGraph::new((0..n as i64).map(|v| (v * 37) % 101).collect());
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if (u * 31 + v * 17) % 13 == 0 {
+                graph.add_pair(u, v, ((u * 13 + v * 7) % 220) as i64);
+            }
+        }
+    }
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("solve", format!("{threads}thread")),
+            &graph,
+            |b, gr| {
+                b.iter(|| std::hint::black_box(gr).solve_with_threads(threads));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_gain_graph);
 criterion_main!(benches);

@@ -30,6 +30,7 @@ fn ctx(mode: PriceMode, gamma: f64) -> PricingCtx {
         levels: 100,
         objective_alpha: 1.0,
         unit_cost: 0.0,
+        threads: 1,
     }
 }
 

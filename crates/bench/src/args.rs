@@ -6,8 +6,12 @@
 //! * `--seed <u64>` — generator seed (default 2015, the venue year);
 //! * `--runs <usize>` — repetitions for stochastic experiments (default 10);
 //! * `--full` — run the expensive variants (e.g. N = 25 in Tables 4–5);
+//! * `--threads <usize>` — worker threads for the parallel hot paths
+//!   (default: the `REVMAX_THREADS` env var, else available parallelism;
+//!   results are bit-identical at any value, `DESIGN.md` §6);
 //! * `--out <dir>` — results directory (default `results`).
 
+use revmax_core::prelude::{Params, Threads};
 use std::collections::HashMap;
 
 /// Parsed command-line arguments.
@@ -17,6 +21,7 @@ pub struct BenchArgs {
     pub seed: u64,
     pub runs: usize,
     pub full: bool,
+    pub threads: Threads,
     pub out_dir: std::path::PathBuf,
 }
 
@@ -54,7 +59,7 @@ impl BenchArgs {
                 "--full" => full = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale small|medium|paper  --seed <u64>  --runs <n>  --full  --out <dir>"
+                        "flags: --scale small|medium|paper  --seed <u64>  --runs <n>  --full  --threads <n>  --out <dir>"
                     );
                     std::process::exit(0);
                 }
@@ -74,13 +79,26 @@ impl BenchArgs {
             Some("paper") => Scale::Paper,
             Some(other) => panic!("unknown scale '{other}' (small|medium|paper)"),
         };
+        let threads = flags.get("threads").map_or(Threads::Auto, |s| {
+            let n: usize = s.parse().expect("--threads must be a positive integer");
+            assert!(n >= 1, "--threads must be >= 1");
+            Threads::Fixed(n)
+        });
         BenchArgs {
             scale,
             seed: flags.get("seed").map_or(2015, |s| s.parse().expect("--seed must be a u64")),
             runs: flags.get("runs").map_or(10, |s| s.parse().expect("--runs must be a usize")),
             full,
+            threads,
             out_dir: flags.get("out").map_or_else(|| "results".into(), |s| s.into()),
         }
+    }
+
+    /// Paper-default [`Params`] carrying this invocation's thread knob —
+    /// the base every experiment binary should build its markets from so
+    /// `--threads` (and `REVMAX_THREADS`) reach the hot paths.
+    pub fn params(&self) -> Params {
+        Params::default().with_threads(self.threads)
     }
 }
 
@@ -99,6 +117,21 @@ mod tests {
         assert_eq!(a.seed, 2015);
         assert_eq!(a.runs, 10);
         assert!(!a.full);
+        assert_eq!(a.threads, Threads::Auto);
+        assert_eq!(a.params().threads, Threads::Auto);
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let a = BenchArgs::from_iter(sv(&["--threads", "4"]), Scale::Small);
+        assert_eq!(a.threads, Threads::Fixed(4));
+        assert_eq!(a.params().threads.get(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads must be")]
+    fn rejects_zero_threads() {
+        BenchArgs::from_iter(sv(&["--threads", "0"]), Scale::Small);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::time::Instant;
 
 fn main() {
     let args = BenchArgs::parse(Scale::Medium);
-    let market = data::market(args.scale, args.seed, Params::default());
+    let market = data::market(args.scale, args.seed, args.params());
 
     let mut t = Table::new(
         format!("Ablation — greedy stopping condition ({} scale)", args.scale.name()),

@@ -8,7 +8,6 @@
 use revmax_bench::args::{BenchArgs, Scale};
 use revmax_bench::data;
 use revmax_bench::report::{pct2, Table};
-use revmax_core::prelude::*;
 
 fn main() {
     let args = BenchArgs::parse(Scale::Medium);
@@ -19,7 +18,7 @@ fn main() {
         &["alpha_obj", "revenue coverage", "surplus / total WTP", "welfare (rev+surplus)"],
     );
     for alpha_obj in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
-        let market = data::market_from(&dataset, Params::default().with_objective_alpha(alpha_obj));
+        let market = data::market_from(&dataset, args.params().with_objective_alpha(alpha_obj));
         let mut scratch = market.scratch();
         let mut revenue = 0.0;
         let mut surplus = 0.0;

@@ -18,11 +18,11 @@ fn main() {
         format!("Ablation — price levels T ({} scale)", args.scale.name()),
         &["T", "Components coverage", "Pure Matching coverage", "vs exact (Components)"],
     );
-    let exact_market = data::market_from(&dataset, Params::default());
+    let exact_market = data::market_from(&dataset, args.params());
     let exact_cov = Components::optimal().run(&exact_market).coverage;
 
     for levels in [10usize, 25, 50, 100, 200, 400] {
-        let market = data::market_from(&dataset, Params::default().with_price_levels(levels))
+        let market = data::market_from(&dataset, args.params().with_price_levels(levels))
             .with_grid_pricing();
         let c = Components::optimal().run(&market);
         let pm = PureMatching::default().run(&market);

@@ -23,7 +23,7 @@ fn main() {
         &["theta", "co-rater", "new-vertex", "coverage", "gain", "time (s)"],
     );
     for theta in [0.0, 0.05] {
-        let market = data::market_from(&dataset, Params::default().with_theta(theta));
+        let market = data::market_from(&dataset, args.params().with_theta(theta));
         for (cr, nv) in [(true, true), (true, false), (false, true), (false, false)] {
             let algo = PureMatching {
                 opts: MatchingOptions {

@@ -8,7 +8,6 @@
 use revmax_bench::args::{BenchArgs, Scale};
 use revmax_bench::report::{pct2, Table};
 use revmax_bench::{all_methods, data};
-use revmax_core::prelude::*;
 
 fn main() {
     let args = BenchArgs::parse(Scale::Medium);
@@ -28,7 +27,7 @@ fn main() {
     );
 
     for theta in thetas {
-        let market = data::market_from(&dataset, Params::default().with_theta(theta));
+        let market = data::market_from(&dataset, args.params().with_theta(theta));
         let mut cov_row = vec![format!("{theta:+.2}")];
         let mut gain_row = vec![format!("{theta:+.2}")];
         for method in all_methods() {

@@ -11,7 +11,6 @@ use rand::SeedableRng;
 use revmax_bench::args::{BenchArgs, Scale};
 use revmax_bench::report::{pct2, Table};
 use revmax_bench::{all_methods, data, runstats};
-use revmax_core::prelude::*;
 
 fn main() {
     let args = BenchArgs::parse(Scale::Medium);
@@ -35,7 +34,7 @@ fn main() {
     );
 
     for gamma in gammas {
-        let market = data::market_from(&dataset, Params::default().with_gamma(gamma));
+        let market = data::market_from(&dataset, args.params().with_gamma(gamma));
         let mut cov_row = vec![format!("{gamma}")];
         let mut gain_row = vec![format!("{gamma}")];
         let mut components_rev = 0.0;

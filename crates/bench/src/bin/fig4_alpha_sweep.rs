@@ -9,7 +9,6 @@ use rand::SeedableRng;
 use revmax_bench::args::{BenchArgs, Scale};
 use revmax_bench::report::{pct2, Table};
 use revmax_bench::{all_methods, data, runstats};
-use revmax_core::prelude::*;
 
 fn main() {
     let args = BenchArgs::parse(Scale::Medium);
@@ -33,7 +32,7 @@ fn main() {
     );
 
     for alpha in alphas {
-        let market = data::market_from(&dataset, Params::default().with_adoption_bias(alpha));
+        let market = data::market_from(&dataset, args.params().with_adoption_bias(alpha));
         let mut cov_row = vec![format!("{alpha}")];
         let mut gain_row = vec![format!("{alpha}")];
         let mut components_rev = 0.0;

@@ -32,7 +32,7 @@ fn main() {
     );
 
     for (label, cap) in caps {
-        let market = data::market_from(&dataset, Params::default().with_size_cap(cap));
+        let market = data::market_from(&dataset, args.params().with_size_cap(cap));
         let components = Components::optimal().run(&market);
         let mut cov_row = vec![label.clone(), pct2(components.coverage)];
         let mut gain_row = vec![label.clone()];

@@ -14,7 +14,7 @@ use revmax_core::prelude::*;
 
 fn main() {
     let args = BenchArgs::parse(Scale::Paper);
-    let market = data::market(args.scale, args.seed, Params::default());
+    let market = data::market(args.scale, args.seed, args.params());
     let components = Components::optimal().run(&market).revenue;
 
     let mut summary = Table::new(

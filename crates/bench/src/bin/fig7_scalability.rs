@@ -7,7 +7,6 @@
 use revmax_bench::args::{BenchArgs, Scale};
 use revmax_bench::report::{secs, Table};
 use revmax_bench::{data, proposed_methods};
-use revmax_core::prelude::*;
 use revmax_dataset::scale as dscale;
 use std::time::Instant;
 
@@ -24,7 +23,7 @@ fn main() {
     );
     for &f in factors {
         let d = dscale::clone_users(&base, f);
-        let market = data::market_from(&d, Params::default());
+        let market = data::market_from(&d, args.params());
         let mut row = vec![format!("{} (x{f})", d.n_users())];
         for method in proposed_methods() {
             let t = Instant::now();
@@ -58,7 +57,7 @@ fn main() {
         v
     };
     for (label, d) in item_variants {
-        let market = data::market_from(&d, Params::default());
+        let market = data::market_from(&d, args.params());
         let mut row = vec![label.clone()];
         for method in proposed_methods() {
             let t = Instant::now();

@@ -18,7 +18,7 @@ fn main() {
     let paper_opt = ["77.7%", "77.7%", "77.7%", "77.7%", "77.7%"];
     let paper_listed = ["59.0%", "75.1%", "62.6%", "62.8%", "54.9%"];
     for (k, lambda) in [1.0, 1.25, 1.5, 1.75, 2.0].into_iter().enumerate() {
-        let market = data::market_from(&dataset, Params::default().with_lambda(lambda));
+        let market = data::market_from(&dataset, args.params().with_lambda(lambda));
         let optimal = Components::optimal().run(&market);
         let listed = Components::listed().run(&market);
         t.row(vec![

@@ -68,7 +68,7 @@ fn main() {
             // Correlated (co-rating neighbourhood) sampling: uniformly
             // random item tuples almost never co-rate on synthetic data.
             let sample = dscale::sample_items_correlated(&base, n, sample_seed);
-            let market = data::market_from(&sample, Params::default()).with_grid_pricing();
+            let market = data::market_from(&sample, args.params()).with_grid_pricing();
             let pm = PureMatching::default().run(&market);
             ranked.push((sample_seed, pm.config.max_bundle_size()));
             if ranked.iter().filter(|(_, mb)| *mb >= 3).count() >= args.runs {
@@ -82,7 +82,7 @@ fn main() {
         for &(sample_seed, _) in &ranked {
             let sample = dscale::sample_items_correlated(&base, n, sample_seed);
             // Grid pricing for WSP-consistency (see module docs).
-            let market = data::market_from(&sample, Params::default()).with_grid_pricing();
+            let market = data::market_from(&sample, args.params()).with_grid_pricing();
 
             let t0 = Instant::now();
             let pm = PureMatching::default().run(&market);

@@ -16,7 +16,7 @@ use revmax_core::prelude::*;
 
 fn main() {
     let args = BenchArgs::parse(Scale::Medium);
-    let market = data::market(args.scale, args.seed, Params::default());
+    let market = data::market(args.scale, args.seed, args.params());
 
     // Find a 3-item mixed bundle produced by the actual algorithm.
     let out = MixedGreedy::default().run(&market);

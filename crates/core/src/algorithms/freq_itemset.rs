@@ -17,7 +17,7 @@ use crate::config::{BundleConfig, OfferNode, Outcome, Strategy};
 use crate::market::Market;
 use crate::mixed;
 use crate::trace::IterationTrace;
-use revmax_fim::{mine_maximal, relative_minsup, TransactionDb};
+use revmax_fim::{mine_maximal_with_threads, relative_minsup, TransactionDb};
 use std::time::Instant;
 
 /// Options for the FreqItemset baselines.
@@ -47,7 +47,7 @@ impl FreqItemsetConfigurator {
         let db = TransactionDb::from_transactions(market.n_items(), &transactions);
         let minsup = relative_minsup(self.opts.minsup, market.n_users());
         let size_cap = market.params().size_cap;
-        mine_maximal(&db, minsup)
+        mine_maximal_with_threads(&db, minsup, market.threads())
             .into_iter()
             .filter(|s| s.items.len() >= 2 && size_cap.allows(s.items.len()))
             .map(|s| Bundle::new(s.items))

@@ -22,7 +22,14 @@ use crate::config::{BundleConfig, Outcome};
 use crate::market::Market;
 use crate::trace::IterationTrace;
 use revmax_matching::max_weight_matching_f64;
+use revmax_par::par_chunks_map_reduce;
 use std::time::Instant;
+
+/// Candidate pairs per scoring chunk. Each chunk allocates one fresh
+/// [`Scratch`](crate::market::Scratch), so chunks are sized to amortize
+/// that; a pure constant (thread-count independent) keeps chunk boundaries
+/// — and thus the scored-edge order — deterministic (`DESIGN.md` §6).
+const SCORING_CHUNK: usize = 64;
 
 /// Pruning switches for [`MatchingConfigurator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,23 +109,61 @@ impl MatchingConfigurator {
             };
 
             // ---- scoring ---------------------------------------------------------
-            let mut edges: Vec<(usize, usize, f64)> = Vec::new();
-            let mut quotes: std::collections::HashMap<(usize, usize), MergeQuote> =
-                std::collections::HashMap::new();
-            for (i, j) in candidate_pairs {
-                let (Some(a), Some(b)) = (&offers[i], &offers[j]) else { continue };
+            // The gain matrix: every candidate pair is priced independently
+            // against the read-only offer pool. With threads > 1 the pairs
+            // fan out over fixed-size chunks (each with its own scratch),
+            // reduced in chunk order; at 1 thread the loop streams through
+            // the engine's scratch with no extra allocation. Either way the
+            // scored-edge sequence is identical.
+            let offers_ref = &offers;
+            let opts = self.opts;
+            let score_pair = |i: usize,
+                              j: usize,
+                              scratch: &mut crate::market::Scratch|
+             -> Option<(usize, usize, MergeQuote)> {
+                let (Some(a), Some(b)) = (&offers_ref[i], &offers_ref[j]) else {
+                    return None;
+                };
                 if !size_cap.allows(a.bundle().len() + b.bundle().len()) {
-                    continue;
+                    return None;
                 }
                 // Co-rater check between composite bundles (cheap bitmap
                 // intersection) under the same pruning flag.
-                if self.opts.co_rater_pruning && !a.raters().intersects(b.raters()) {
-                    continue;
+                if opts.co_rater_pruning && !a.raters().intersects(b.raters()) {
+                    return None;
                 }
-                if let Some(q) = S::plan_merge(market, a, b, &mut scratch) {
-                    edges.push((i, j, q.gain));
-                    quotes.insert((i, j), q);
-                }
+                S::plan_merge(market, a, b, scratch).map(|q| (i, j, q))
+            };
+            let scored: Vec<(usize, usize, MergeQuote)> = if market.threads() <= 1 {
+                candidate_pairs
+                    .iter()
+                    .filter_map(|&(i, j)| score_pair(i, j, &mut scratch))
+                    .collect()
+            } else {
+                par_chunks_map_reduce(
+                    market.threads(),
+                    &candidate_pairs,
+                    SCORING_CHUNK,
+                    |chunk| {
+                        let mut scratch = market.scratch();
+                        chunk
+                            .iter()
+                            .filter_map(|&(i, j)| score_pair(i, j, &mut scratch))
+                            .collect::<Vec<_>>()
+                    },
+                    Vec::new(),
+                    |mut acc: Vec<(usize, usize, MergeQuote)>, mut part| {
+                        acc.append(&mut part);
+                        acc
+                    },
+                )
+            };
+            let mut edges: Vec<(usize, usize, f64)> = Vec::with_capacity(scored.len());
+            let mut quotes: std::collections::HashMap<(usize, usize), MergeQuote> =
+                std::collections::HashMap::new();
+            for (i, j, q) in scored {
+                edges.push((i, j, q.gain));
+                quotes.insert((i, j), q);
             }
             if edges.is_empty() {
                 break;

@@ -21,8 +21,10 @@ pub(crate) struct MergeQuote {
     pub gain: f64,
 }
 
-/// One top-level offer during configuration search.
-pub(crate) trait SearchOffer: Sized + Clone {
+/// One top-level offer during configuration search. `Send + Sync` so the
+/// matching engine can score candidate merges from a read-only offer pool
+/// across worker threads.
+pub(crate) trait SearchOffer: Sized + Clone + Send + Sync {
     /// Which problem variant this offer type solves.
     const STRATEGY: Strategy;
 

@@ -85,6 +85,6 @@ pub mod prelude {
     pub use crate::config::{BundleConfig, Outcome, Strategy};
     pub use crate::market::Market;
     pub use crate::metrics::{revenue_coverage, revenue_gain};
-    pub use crate::params::{Params, SizeCap};
+    pub use crate::params::{Params, SizeCap, Threads};
     pub use crate::wtp::WtpMatrix;
 }

@@ -42,6 +42,13 @@ impl Market {
         &self.pricing
     }
 
+    /// Resolved worker-thread count (≥ 1) from [`Params::threads`], fixed
+    /// at construction so one market never mixes resolutions (the env var
+    /// is read once). Thread count never affects results (`DESIGN.md` §6).
+    pub fn threads(&self) -> usize {
+        self.pricing.threads
+    }
+
     pub fn n_users(&self) -> usize {
         self.wtp.n_users()
     }

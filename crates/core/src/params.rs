@@ -1,5 +1,7 @@
 //! Model parameters with the paper's defaults (Table 3).
 
+pub use revmax_par::Threads;
+
 /// Maximum bundle size constraint `k` (Problem 1/2's size parameter).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SizeCap {
@@ -43,11 +45,14 @@ impl SizeCap {
 /// model (α multiplies WTP) make clear the default is α = 1; α = 0 would
 /// zero every consumer's effective WTP.
 ///
-/// Two extension knobs beyond the paper's table: `objective_alpha` is the
+/// Three extension knobs beyond the paper's table: `objective_alpha` is the
 /// profit-vs-surplus weight of the §1 utility `α·profit + (1−α)·surplus`
-/// (the paper fixes it to 1 "without loss of generality"), and `unit_cost`
+/// (the paper fixes it to 1 "without loss of generality"), `unit_cost`
 /// is the per-unit variable cost (the paper assumes 0 for information
-/// goods).
+/// goods), and `threads` is the degree of parallelism used by the hot
+/// paths (pricing, subset enumeration, gain-matrix scoring). Thread count
+/// never affects results — see `DESIGN.md` §6 for the determinism
+/// contract.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Params {
     /// Rating→WTP conversion factor λ (≥ 1).
@@ -69,6 +74,9 @@ pub struct Params {
     pub objective_alpha: f64,
     /// Per-unit variable cost subtracted from price in the profit term.
     pub unit_cost: f64,
+    /// Worker threads for the parallel hot paths (default: auto — the
+    /// `REVMAX_THREADS` env var, else the machine's available parallelism).
+    pub threads: Threads,
 }
 
 impl Params {
@@ -87,6 +95,7 @@ impl Params {
             price_levels: 100,
             objective_alpha: 1.0,
             unit_cost: 0.0,
+            threads: Threads::Auto,
         }
     }
 
@@ -104,6 +113,7 @@ impl Params {
             self.objective_alpha
         );
         assert!(self.unit_cost >= 0.0, "unit cost must be non-negative");
+        self.threads.validate();
         if let SizeCap::AtMost(k) = self.size_cap {
             assert!(k >= 1, "size cap must be >= 1");
         }
@@ -151,6 +161,12 @@ impl Params {
         self
     }
 
+    /// Builder-style override for the worker-thread knob.
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// True when γ is in the deterministic step regime.
     pub fn is_step(&self) -> bool {
         self.gamma >= Self::STEP_GAMMA
@@ -190,6 +206,7 @@ mod tests {
         assert_eq!(p.epsilon, 1e-6);
         assert_eq!(p.price_levels, 100);
         assert_eq!(p.objective_alpha, 1.0);
+        assert_eq!(p.threads, Threads::Auto);
         p.validate();
     }
 
@@ -219,5 +236,18 @@ mod tests {
     #[should_panic(expected = "gamma")]
     fn rejects_zero_gamma() {
         Params::default().with_gamma(0.0).validate();
+    }
+
+    #[test]
+    fn threads_knob_round_trips() {
+        let p = Params::default().with_threads(Threads::Fixed(4));
+        p.validate();
+        assert_eq!(p.threads.get(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn rejects_zero_threads() {
+        Params::default().with_threads(Threads::Fixed(0)).validate();
     }
 }

@@ -27,6 +27,13 @@
 //! mentions).
 
 use crate::adoption::AdoptionModel;
+use revmax_par::par_index_map;
+
+/// Below this many candidate price levels (or price-list entries) the
+/// search stays sequential: thread-spawn overhead would dominate. The
+/// threshold depends only on the workload, never on the thread count, so
+/// it cannot perturb determinism.
+const PAR_LEVELS_MIN: usize = 128;
 
 /// How candidate prices are generated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +77,9 @@ pub struct PricingCtx {
     pub objective_alpha: f64,
     /// Per-unit variable cost `c`.
     pub unit_cost: f64,
+    /// Resolved worker-thread count for the price search (≥ 1). Results
+    /// are bit-identical at any value (`DESIGN.md` §6).
+    pub threads: usize,
 }
 
 impl PricingCtx {
@@ -81,6 +91,7 @@ impl PricingCtx {
             levels: p.price_levels,
             objective_alpha: p.objective_alpha,
             unit_cost: p.unit_cost,
+            threads: p.threads.get(),
         }
     }
 
@@ -94,6 +105,21 @@ impl PricingCtx {
         self.objective_alpha * (price - self.unit_cost) * buyers
             + (1.0 - self.objective_alpha) * surplus
     }
+}
+
+/// Streaming ordered argmax with the lowest-price tie-break. Candidates
+/// must arrive in their canonical order (level/list order) so tie-breaks —
+/// and therefore parallel-vs-sequential agreement — are exact.
+fn fold_best(
+    mut best: PricedOutcome,
+    outcomes: impl Iterator<Item = PricedOutcome>,
+) -> PricedOutcome {
+    for out in outcomes {
+        if out.utility > best.utility || (out.utility == best.utility && out.price < best.price) {
+            best = out;
+        }
+    }
+    best
 }
 
 /// Optimize the price for consumers with bundle WTPs `values` (only
@@ -202,7 +228,11 @@ fn optimize_grid(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
             }
         }
     } else {
-        for b in 1..=t {
+        // O(T²) sigmoid scoring: every level scans every bucket. Levels
+        // are scored independently (parallel over candidate price levels)
+        // and the argmax scan below runs in level order, so the winner and
+        // its tie-breaks are identical at any thread count.
+        let score_level = |b: usize| {
             let price = b as f64 * step;
             let mut buyers = 0.0;
             let mut surplus = 0.0;
@@ -218,16 +248,20 @@ fn optimize_grid(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
                 surplus += count[c] * p_adopt * (mean_raw - price);
             }
             let utility = ctx.objective(price, buyers, surplus);
-            if utility > best.utility || (utility == best.utility && price < best.price) {
-                best = PricedOutcome {
-                    price,
-                    expected_buyers: buyers,
-                    revenue: price * buyers,
-                    surplus,
-                    utility,
-                };
+            PricedOutcome {
+                price,
+                expected_buyers: buyers,
+                revenue: price * buyers,
+                surplus,
+                utility,
             }
-        }
+        };
+        best = if ctx.threads > 1 && t >= PAR_LEVELS_MIN {
+            fold_best(best, par_index_map(ctx.threads, t, |k| score_level(k + 1)).into_iter())
+        } else {
+            // Sequential fast path: stream, no per-call allocation.
+            fold_best(best, (1..=t).map(score_level))
+        };
     }
     best
 }
@@ -239,8 +273,9 @@ pub fn optimize_with_price_list(values: &[f64], ctx: &PricingCtx, prices: &[f64]
     if positive.is_empty() || prices.is_empty() {
         return PricedOutcome::zero();
     }
-    let mut best = PricedOutcome::zero();
-    for &price in prices {
+    // Each listed price is scored independently; the argmax scan keeps the
+    // list order, so parallelism cannot change the winner or tie-breaks.
+    let score_price = |price: f64| {
         assert!(price.is_finite() && price > 0.0, "price list entries must be positive");
         let mut buyers = 0.0;
         let mut surplus = 0.0;
@@ -250,17 +285,15 @@ pub fn optimize_with_price_list(values: &[f64], ctx: &PricingCtx, prices: &[f64]
             surplus += p_adopt * (w - price);
         }
         let utility = ctx.objective(price, buyers, surplus);
-        if utility > best.utility || (utility == best.utility && price < best.price) {
-            best = PricedOutcome {
-                price,
-                expected_buyers: buyers,
-                revenue: price * buyers,
-                surplus,
-                utility,
-            };
-        }
+        PricedOutcome { price, expected_buyers: buyers, revenue: price * buyers, surplus, utility }
+    };
+    if ctx.threads > 1 && prices.len() >= PAR_LEVELS_MIN {
+        let scored = par_index_map(ctx.threads, prices.len(), |k| score_price(prices[k]));
+        fold_best(PricedOutcome::zero(), scored.into_iter())
+    } else {
+        // Sequential fast path: stream, no per-call allocation.
+        fold_best(PricedOutcome::zero(), prices.iter().map(|&p| score_price(p)))
     }
-    best
 }
 
 #[cfg(test)]
@@ -409,6 +442,32 @@ mod tests {
         assert_eq!(out.expected_buyers, 400.0);
         assert!((out.revenue - 3000.0).abs() < 1e-9);
         assert_eq!(out.surplus, 0.0);
+    }
+
+    #[test]
+    fn parallel_price_search_is_bit_identical() {
+        // Sigmoid grid with T ≥ PAR_LEVELS_MIN exercises the parallel
+        // level scoring; the winner must match 1-thread bit for bit.
+        let values: Vec<f64> = (0..700).map(|k| 1.0 + (k % 97) as f64 * 0.41).collect();
+        let mut base = step_ctx();
+        base.adoption.gamma = 1.5;
+        base.mode = PriceMode::Grid;
+        base.levels = 256;
+        let seq = optimize(&values, &PricingCtx { threads: 1, ..base });
+        for threads in [2, 4, 7] {
+            let par = optimize(&values, &PricingCtx { threads, ..base });
+            assert_eq!(par.price.to_bits(), seq.price.to_bits(), "threads={threads}");
+            assert_eq!(par.revenue.to_bits(), seq.revenue.to_bits(), "threads={threads}");
+            assert_eq!(par.surplus.to_bits(), seq.surplus.to_bits(), "threads={threads}");
+        }
+        // Same for the explicit price-list search.
+        let prices: Vec<f64> = (1..=300).map(|k| k as f64 * 0.13).collect();
+        let seq = optimize_with_price_list(&values, &PricingCtx { threads: 1, ..base }, &prices);
+        for threads in [2, 4, 7] {
+            let par = optimize_with_price_list(&values, &PricingCtx { threads, ..base }, &prices);
+            assert_eq!(par.price.to_bits(), seq.price.to_bits(), "threads={threads}");
+            assert_eq!(par.revenue.to_bits(), seq.revenue.to_bits(), "threads={threads}");
+        }
     }
 
     #[test]

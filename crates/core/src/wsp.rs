@@ -14,7 +14,19 @@ use crate::config::{BundleConfig, OfferNode, Outcome, Strategy};
 use crate::market::Market;
 use crate::pricing::{self, PricingCtx};
 use crate::trace::IterationTrace;
+use revmax_par::par_index_map;
 use std::time::{Duration, Instant};
+
+/// How many of the low item bits are pre-branched into independent
+/// enumeration tasks: `2^prebranch` tasks, each owning the mask stride
+/// `{p | (high << prebranch)}`. A pure function of `n` — never of the
+/// thread count — so the task decomposition, the per-consumer WTP
+/// accumulation order, and therefore every table entry are bit-identical
+/// at any parallelism (`DESIGN.md` §6). Small instances (`n ≤ 6`) stay
+/// sequential.
+fn prebranch_bits(n: usize) -> usize {
+    n.saturating_sub(6).min(8)
+}
 
 /// Revenues of every nonempty subset of the market's items
 /// (`table[mask]`, `table[0] = 0`), plus the matching optimal prices.
@@ -59,18 +71,16 @@ pub fn enumerate_subset_revenues(market: &Market) -> SubsetRevenues {
         .collect();
 
     let params = *market.params();
-    let ctx: PricingCtx = *market.pricing_ctx();
+    // Per-subset pricing runs sequentially inside each task: the outer
+    // mask-range fan-out already saturates the pool.
+    let ctx = PricingCtx { threads: 1, ..*market.pricing_ctx() };
+    let threads = market.threads();
     let m_rel = relevant.len();
-    let mut revenue = vec![0.0f64; full];
-    let mut price = vec![0.0f64; full];
-    // DFS over the subset lattice, maintaining per-consumer raw sums
-    // incrementally: visit masks in an order where consecutive states
-    // differ by one item (standard Gray-style recursion).
-    let mut sums = vec![0.0f64; m_rel];
-    let mut values: Vec<f64> = Vec::with_capacity(m_rel);
-    let mut mask = 0usize;
+
     // DFS over the subset lattice: at depth `item` branch on item
     // excluded/included, maintaining the per-consumer sums incrementally.
+    // Writes table slots indexed by the bits above `shift` (the bits below
+    // are fixed per task).
     #[allow(clippy::too_many_arguments)]
     fn rec(
         item: usize,
@@ -83,6 +93,7 @@ pub fn enumerate_subset_revenues(market: &Market) -> SubsetRevenues {
         ctx: &PricingCtx,
         revenue: &mut [f64],
         price: &mut [f64],
+        shift: usize,
     ) {
         if item == n {
             if *mask != 0 {
@@ -94,13 +105,13 @@ pub fn enumerate_subset_revenues(market: &Market) -> SubsetRevenues {
                     }
                 }
                 let out = pricing::optimize(values, ctx);
-                revenue[*mask] = out.revenue;
-                price[*mask] = out.price;
+                revenue[*mask >> shift] = out.revenue;
+                price[*mask >> shift] = out.price;
             }
             return;
         }
         // Exclude `item`.
-        rec(item + 1, n, mask, sums, values, cols, params, ctx, revenue, price);
+        rec(item + 1, n, mask, sums, values, cols, params, ctx, revenue, price, shift);
         // Include `item`. The undo log restores previous values bitwise —
         // `sums[u] -= w` would leave 1-ulp drift, and ratings-derived WTPs
         // sit exactly on grid-level boundaries, where any drift flips a
@@ -110,13 +121,59 @@ pub fn enumerate_subset_revenues(market: &Market) -> SubsetRevenues {
         for &(u, w) in &cols[item] {
             sums[u] += w;
         }
-        rec(item + 1, n, mask, sums, values, cols, params, ctx, revenue, price);
+        rec(item + 1, n, mask, sums, values, cols, params, ctx, revenue, price, shift);
         for (&(u, _), &old) in cols[item].iter().zip(&undo) {
             sums[u] = old;
         }
         *mask &= !(1 << item);
     }
-    rec(0, n, &mut mask, &mut sums, &mut values, &cols, &params, &ctx, &mut revenue, &mut price);
+
+    // Parallel over mask ranges: task `p` fixes the low `pb` item bits to
+    // `p` (their WTP contributions pre-accumulated in increasing item
+    // order, exactly as the DFS would) and enumerates the high bits. Each
+    // task owns the stride `{p | (high << pb)}`, so tasks write disjoint
+    // table slots; each task scatters its stride into the shared tables as
+    // soon as it finishes (a short lock per task) instead of materializing
+    // all 2^pb partial tables — at N = 25 that keeps peak memory at the
+    // 2 × 2^N table itself plus one in-flight stride per worker, instead
+    // of double the table. Slot values are independent of scatter order,
+    // so results stay bit-identical at any thread count.
+    let pb = prebranch_bits(n);
+    let high_len = 1usize << (n - pb);
+    let tables = std::sync::Mutex::new((vec![0.0f64; full], vec![0.0f64; full]));
+    par_index_map(threads, 1usize << pb, |p| {
+        let mut sums = vec![0.0f64; m_rel];
+        for (i, col) in cols.iter().enumerate().take(pb) {
+            if p & (1 << i) != 0 {
+                for &(u, w) in col {
+                    sums[u] += w;
+                }
+            }
+        }
+        let mut revenue = vec![0.0f64; high_len];
+        let mut price = vec![0.0f64; high_len];
+        let mut values: Vec<f64> = Vec::with_capacity(m_rel);
+        let mut mask = p;
+        rec(
+            pb,
+            n,
+            &mut mask,
+            &mut sums,
+            &mut values,
+            &cols,
+            &params,
+            &ctx,
+            &mut revenue,
+            &mut price,
+            pb,
+        );
+        let mut guard = tables.lock().expect("table lock poisoned");
+        for (k, (r, q)) in revenue.into_iter().zip(price).enumerate() {
+            guard.0[p | (k << pb)] = r;
+            guard.1[p | (k << pb)] = q;
+        }
+    });
+    let (revenue, price) = tables.into_inner().expect("table lock poisoned");
 
     SubsetRevenues { n_items: n, revenue, price, enumeration_time: start.elapsed() }
 }
@@ -276,6 +333,44 @@ mod tests {
         gw.config.validate(3);
         let covered: usize = gw.config.roots.iter().map(|r| r.bundle.len()).sum();
         assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn enumeration_bit_identical_across_thread_counts() {
+        // n = 10 → 16 pre-branched tasks, exercising the parallel path.
+        use crate::params::Threads;
+        let rows: Vec<Vec<f64>> = (0..30u32)
+            .map(|u| (0..10u32).map(|i| ((u * 7 + i * 13) % 11) as f64 * 0.7).collect())
+            .collect();
+        let build = |t: usize| {
+            Market::new(
+                WtpMatrix::from_rows(rows.clone()),
+                Params::default().with_theta(0.05).with_threads(Threads::Fixed(t)),
+            )
+        };
+        let base = enumerate_subset_revenues(&build(1));
+        let base_opt = optimal(&build(1), &base);
+        let base_gw = greedy_wsp(&build(1), &base);
+        for t in [2, 4, 7] {
+            let tab = enumerate_subset_revenues(&build(t));
+            assert_eq!(tab.revenue.len(), base.revenue.len());
+            for mask in 0..tab.revenue.len() {
+                assert_eq!(
+                    tab.revenue[mask].to_bits(),
+                    base.revenue[mask].to_bits(),
+                    "revenue differs at mask {mask} with {t} threads"
+                );
+                assert_eq!(
+                    tab.price[mask].to_bits(),
+                    base.price[mask].to_bits(),
+                    "price differs at mask {mask} with {t} threads"
+                );
+            }
+            let opt = optimal(&build(t), &tab);
+            let gw = greedy_wsp(&build(t), &tab);
+            assert_eq!(opt.revenue.to_bits(), base_opt.revenue.to_bits());
+            assert_eq!(gw.revenue.to_bits(), base_gw.revenue.to_bits());
+        }
     }
 
     #[test]

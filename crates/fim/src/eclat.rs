@@ -3,6 +3,14 @@
 //! and as the shared machinery validated against [`crate::apriori`].
 
 use crate::{Bitmap, Itemset, TransactionDb};
+use revmax_par::par_index_map;
+
+/// Minimum extension-tail length before the tidset intersections of one
+/// DFS node fan out across worker threads. Below this the intersections
+/// are too cheap to amortize a dispatch. The threshold depends only on the
+/// data, never on the thread count, so mining output is identical at any
+/// parallelism (`DESIGN.md` §6).
+const PAR_FANOUT_MIN: usize = 32;
 
 /// Guard against combinatorial explosion when enumerating all frequent
 /// itemsets.
@@ -17,11 +25,29 @@ pub enum EclatLimit {
 /// Mine all frequent itemsets with support ≥ `minsup` (absolute count ≥ 1).
 ///
 /// Returns itemsets in depth-first order (prefix before extensions), each
-/// with its exact support. Errors if `limit` is exceeded.
+/// with its exact support. Errors if `limit` is exceeded. Single-threaded;
+/// see [`mine_frequent_with_threads`] for the parallel variant (identical
+/// output by contract).
 pub fn mine_frequent(
     db: &TransactionDb,
     minsup: u32,
     limit: EclatLimit,
+) -> Result<Vec<Itemset>, String> {
+    mine_frequent_with_threads(db, minsup, limit, 1)
+}
+
+/// [`mine_frequent`] with the tidset-intersection fan-out of each DFS node
+/// spread over up to `threads` workers.
+///
+/// The DFS order, the itemsets, their supports, and the cap accounting are
+/// bit-identical to the sequential miner at any thread count: only the
+/// *computation* of one node's candidate extensions is distributed, and
+/// their order (strictly-later tail items) is preserved.
+pub fn mine_frequent_with_threads(
+    db: &TransactionDb,
+    minsup: u32,
+    limit: EclatLimit,
+    threads: usize,
 ) -> Result<Vec<Itemset>, String> {
     assert!(minsup >= 1, "minsup must be >= 1");
     let cap = match limit {
@@ -38,7 +64,7 @@ pub fn mine_frequent(
         })
         .collect();
     let mut prefix = Vec::new();
-    dfs(&roots, &mut prefix, minsup, cap, &mut out)?;
+    dfs(&roots, &mut prefix, minsup, cap, threads.max(1), &mut out)?;
     Ok(out)
 }
 
@@ -47,6 +73,7 @@ fn dfs(
     prefix: &mut Vec<u32>,
     minsup: u32,
     cap: usize,
+    threads: usize,
     out: &mut Vec<Itemset>,
 ) -> Result<(), String> {
     for (idx, (item, bm, sup)) in tail.iter().enumerate() {
@@ -55,16 +82,31 @@ fn dfs(
             return Err(format!("frequent itemset cap of {cap} exceeded"));
         }
         out.push(Itemset { items: prefix.clone(), support: *sup });
-        // Extensions: intersect with strictly later tail items.
-        let mut next: Vec<(u32, Bitmap, u32)> = Vec::new();
-        for (jtem, jbm, _) in &tail[idx + 1..] {
-            let nbm = bm.and(jbm);
-            let nsup = nbm.count();
-            if nsup >= minsup {
-                next.push((*jtem, nbm, nsup));
-            }
-        }
-        dfs(&next, prefix, minsup, cap, out)?;
+        // Extensions: intersect with strictly later tail items. Wide
+        // fan-outs compute the (independent) intersections in parallel;
+        // the infrequent ones are filtered afterwards in tail order, so
+        // `next` is identical to the sequential construction.
+        let exts = &tail[idx + 1..];
+        let next: Vec<(u32, Bitmap, u32)> = if threads > 1 && exts.len() >= PAR_FANOUT_MIN {
+            par_index_map(threads, exts.len(), |j| {
+                let (jtem, jbm, _) = &exts[j];
+                let nbm = bm.and(jbm);
+                let nsup = nbm.count();
+                (*jtem, nbm, nsup)
+            })
+            .into_iter()
+            .filter(|&(_, _, nsup)| nsup >= minsup)
+            .collect()
+        } else {
+            exts.iter()
+                .filter_map(|(jtem, jbm, _)| {
+                    let nbm = bm.and(jbm);
+                    let nsup = nbm.count();
+                    (nsup >= minsup).then_some((*jtem, nbm, nsup))
+                })
+                .collect()
+        };
+        dfs(&next, prefix, minsup, cap, threads, out)?;
         prefix.pop();
     }
     Ok(())
@@ -116,6 +158,30 @@ mod tests {
     fn high_minsup_yields_nothing() {
         let got = mine_frequent(&db(), 6, EclatLimit::Unbounded).unwrap();
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn parallel_mining_identical_to_sequential() {
+        // 64 items / 120 synthetic transactions: the root fan-out exceeds
+        // PAR_FANOUT_MIN, so the parallel intersection path runs. Output
+        // must match the sequential miner exactly, order included.
+        let n_items = 64usize;
+        let txs: Vec<Vec<u32>> = (0..120u32)
+            .map(|t| {
+                (0..n_items as u32).filter(|&i| (t * 7 + i * 11) % 5 < 2).collect::<Vec<u32>>()
+            })
+            .collect();
+        let db = TransactionDb::from_transactions(n_items, &txs);
+        let seq = mine_frequent_with_threads(&db, 30, EclatLimit::Unbounded, 1).unwrap();
+        assert!(!seq.is_empty());
+        for threads in [2, 4, 7] {
+            let par = mine_frequent_with_threads(&db, 30, EclatLimit::Unbounded, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        // The cap error is reproduced identically too.
+        let seq_err = mine_frequent_with_threads(&db, 30, EclatLimit::MaxItemsets(5), 1);
+        let par_err = mine_frequent_with_threads(&db, 30, EclatLimit::MaxItemsets(5), 4);
+        assert_eq!(seq_err, par_err);
     }
 
     #[test]

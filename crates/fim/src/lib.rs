@@ -43,8 +43,8 @@ mod maximal;
 pub use apriori::apriori;
 pub use bitmap::Bitmap;
 pub use db::TransactionDb;
-pub use eclat::{mine_frequent, EclatLimit};
-pub use maximal::mine_maximal;
+pub use eclat::{mine_frequent, mine_frequent_with_threads, EclatLimit};
+pub use maximal::{mine_maximal, mine_maximal_with_threads};
 
 /// A mined itemset: sorted item ids plus its transaction support.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

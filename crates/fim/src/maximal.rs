@@ -19,13 +19,28 @@
 //! cross-check against a filter over Eclat's full output).
 
 use crate::{Bitmap, Itemset, TransactionDb};
+use revmax_par::par_index_map;
+
+/// Minimum tail length before one node's conditional-bitmap intersections
+/// fan out across worker threads (same contract as the Eclat threshold:
+/// data-dependent only, so output is identical at any thread count).
+const PAR_FANOUT_MIN: usize = 32;
 
 /// Mine the maximal frequent itemsets at absolute support `minsup ≥ 1`.
 ///
 /// Output is sorted lexicographically by items; every set carries its exact
 /// support. Singletons that are frequent but extendable never appear — only
-/// maximal sets do.
+/// maximal sets do. Single-threaded; see [`mine_maximal_with_threads`].
 pub fn mine_maximal(db: &TransactionDb, minsup: u32) -> Vec<Itemset> {
+    mine_maximal_with_threads(db, minsup, 1)
+}
+
+/// [`mine_maximal`] with each DFS node's tidset intersections spread over
+/// up to `threads` workers. Output is bit-identical to the sequential
+/// miner at any thread count: the intersections are independent, their
+/// tail order is preserved, and the PEP/emission logic stays sequential
+/// (`DESIGN.md` §6).
+pub fn mine_maximal_with_threads(db: &TransactionDb, minsup: u32, threads: usize) -> Vec<Itemset> {
     assert!(minsup >= 1, "minsup must be >= 1");
     let roots: Vec<(u32, Bitmap, u32)> = (0..db.n_items() as u32)
         .filter_map(|i| {
@@ -34,7 +49,12 @@ pub fn mine_maximal(db: &TransactionDb, minsup: u32) -> Vec<Itemset> {
             (sup >= minsup).then(|| (i, bm.clone(), sup))
         })
         .collect();
-    let mut miner = Miner { minsup, found: Vec::new(), index: InvertedIndex::default() };
+    let mut miner = Miner {
+        minsup,
+        threads: threads.max(1),
+        found: Vec::new(),
+        index: InvertedIndex::default(),
+    };
     // Root: empty prefix with full-transaction "bitmap" (represented lazily:
     // each root already carries its own bitmap, so recursion starts per-root
     // the same way inner nodes do).
@@ -74,6 +94,7 @@ impl InvertedIndex {
 
 struct Miner {
     minsup: u32,
+    threads: usize,
     found: Vec<Itemset>,
     index: InvertedIndex,
 }
@@ -145,18 +166,38 @@ impl Miner {
             let mut pep_moved: Vec<u32> = Vec::new();
             let mut child_tail: Vec<(u32, Bitmap, u32)> = Vec::new();
             let mut child_bm = bm.clone();
-            for (jtem, jbm, _) in &tail[idx + 1..] {
-                let nbm = bm.and(jbm);
-                let nsup = nbm.count();
+            // The independent tidset intersections of this node, fanned out
+            // over workers for wide tails; PEP classification stays
+            // sequential in tail order, so the child tail is identical to
+            // the sequential construction.
+            let exts = &tail[idx + 1..];
+            let intersected: Vec<(u32, Bitmap, u32)> =
+                if self.threads > 1 && exts.len() >= PAR_FANOUT_MIN {
+                    par_index_map(self.threads, exts.len(), |j| {
+                        let (jtem, jbm, _) = &exts[j];
+                        let nbm = bm.and(jbm);
+                        let nsup = nbm.count();
+                        (*jtem, nbm, nsup)
+                    })
+                } else {
+                    exts.iter()
+                        .map(|(jtem, jbm, _)| {
+                            let nbm = bm.and(jbm);
+                            let nsup = nbm.count();
+                            (*jtem, nbm, nsup)
+                        })
+                        .collect()
+                };
+            for (jtem, nbm, nsup) in intersected {
                 if nsup < self.minsup {
                     continue;
                 }
                 if nsup == parent_sup {
                     // PEP: jtem occurs in every transaction of the prefix.
-                    pep_moved.push(*jtem);
-                    child_bm.and_assign(jbm); // no-op on support, keeps bitmap consistent
+                    pep_moved.push(jtem);
+                    child_bm.and_assign(&nbm); // no-op on support, keeps bitmap consistent
                 } else {
-                    child_tail.push((*jtem, nbm, nsup));
+                    child_tail.push((jtem, nbm, nsup));
                 }
             }
             prefix.extend_from_slice(&pep_moved);
@@ -265,6 +306,23 @@ mod tests {
         let db = TransactionDb::from_transactions(10, &txs);
         for minsup in [1, 2, 3, 5, 8, 12, 20] {
             check(&db, minsup);
+        }
+    }
+
+    #[test]
+    fn parallel_maximal_identical_to_sequential() {
+        // 64 items so root tails exceed PAR_FANOUT_MIN and the parallel
+        // intersection path actually runs.
+        let n_items = 64usize;
+        let txs: Vec<Vec<u32>> = (0..150u32)
+            .map(|t| (0..n_items as u32).filter(|&i| (t * 13 + i * 7) % 6 < 2).collect())
+            .collect();
+        let db = TransactionDb::from_transactions(n_items, &txs);
+        let seq = mine_maximal_with_threads(&db, 20, 1);
+        assert!(!seq.is_empty());
+        assert_eq!(seq, mine_maximal(&db, 20));
+        for threads in [2, 4, 7] {
+            assert_eq!(mine_maximal_with_threads(&db, 20, threads), seq, "threads={threads}");
         }
     }
 }

@@ -16,6 +16,11 @@
 //! transformation so callers never handle the offset bookkeeping by hand.
 
 use crate::blossom::max_weight_matching;
+use revmax_par::par_chunks_map_reduce;
+
+/// Registered pairs per gain-computation chunk (thread-count independent,
+/// so the gain-edge order is deterministic at any parallelism).
+const GAIN_CHUNK: usize = 256;
 
 /// A graph of self-loop weights plus pairwise weights, in integer units.
 ///
@@ -67,18 +72,37 @@ impl GainGraph {
         self.pairs.push((u, v, weight));
     }
 
-    /// Solve for the maximum-total-weight cover.
+    /// Solve for the maximum-total-weight cover (single-threaded).
     pub fn solve(&self) -> GainSolution {
+        self.solve_with_threads(1)
+    }
+
+    /// Solve with the gain-matrix construction fanned out over `threads`
+    /// workers. The gain of each registered pair is independent and the
+    /// chunked reduction preserves registration order, so the edge list —
+    /// and therefore the matching — is identical at any thread count.
+    pub fn solve_with_threads(&self, threads: usize) -> GainSolution {
         let n = self.len();
         let base: i64 = self.self_weights.iter().sum();
-        let gain_edges: Vec<(usize, usize, i64)> = self
-            .pairs
-            .iter()
-            .filter_map(|&(u, v, w)| {
-                let gain = w - self.self_weights[u] - self.self_weights[v];
-                (gain > 0).then_some((u, v, gain))
-            })
-            .collect();
+        let gain_edges: Vec<(usize, usize, i64)> = par_chunks_map_reduce(
+            threads,
+            &self.pairs,
+            GAIN_CHUNK,
+            |chunk| {
+                chunk
+                    .iter()
+                    .filter_map(|&(u, v, w)| {
+                        let gain = w - self.self_weights[u] - self.self_weights[v];
+                        (gain > 0).then_some((u, v, gain))
+                    })
+                    .collect::<Vec<_>>()
+            },
+            Vec::new(),
+            |mut acc: Vec<(usize, usize, i64)>, mut part| {
+                acc.append(&mut part);
+                acc
+            },
+        );
         let m = max_weight_matching(n, &gain_edges);
         let mut singles = Vec::new();
         for v in 0..n {
@@ -145,5 +169,25 @@ mod tests {
         let s = g.solve();
         assert_eq!(s.total_weight, 0);
         assert!(s.pairs.is_empty() && s.singles.is_empty());
+    }
+
+    #[test]
+    fn parallel_solve_identical_to_sequential() {
+        // A dense-ish pseudo-random graph: the chosen cover must be
+        // exactly equal (pairs, singles, weight) at every thread count.
+        let n = 60usize;
+        let weights: Vec<i64> = (0..n as i64).map(|v| (v * 37) % 23).collect();
+        let mut g = GainGraph::new(weights);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if (u * 31 + v * 17) % 3 == 0 {
+                    g.add_pair(u, v, ((u * 13 + v * 7) % 50) as i64);
+                }
+            }
+        }
+        let seq = g.solve_with_threads(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(g.solve_with_threads(threads), seq, "threads={threads}");
+        }
     }
 }

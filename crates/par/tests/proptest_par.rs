@@ -1,0 +1,113 @@
+//! Property tests for the determinism contract: for arbitrary inputs,
+//! chunk sizes, and thread counts, the parallel primitives are bit-for-bit
+//! equal to their sequential counterparts — including the empty input and
+//! `len < threads` edge cases, which the generators hit by construction
+//! (lengths start at 0 while thread counts go up to 9).
+
+use proptest::prelude::*;
+use revmax_par::{effective_chunk_size, par_chunks_map_reduce, par_index_map};
+
+/// The sequential specification of `par_chunks_map_reduce`.
+fn sequential_chunks_fold(items: &[f64], chunk: usize) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    items
+        .chunks(effective_chunk_size(items.len(), chunk))
+        .map(|c| c.iter().sum::<f64>())
+        .fold(0.0f64, |a, s| a + s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chunks_map_reduce_equals_sequential_fold(
+        items in proptest::collection::vec(-1.0e6f64..1.0e6, 0..200),
+        chunk in 0usize..32,
+        threads in 1usize..10,
+    ) {
+        let par = par_chunks_map_reduce(
+            threads,
+            &items,
+            chunk,
+            |c| c.iter().sum::<f64>(),
+            0.0f64,
+            |a, s| a + s,
+        );
+        let seq = sequential_chunks_fold(&items, chunk);
+        prop_assert_eq!(par.to_bits(), seq.to_bits());
+    }
+
+    #[test]
+    fn chunks_map_reduce_identical_across_thread_counts(
+        items in proptest::collection::vec(-1.0e3f64..1.0e3, 0..150),
+        chunk in 0usize..17,
+    ) {
+        // Non-associative map (product minus sum per chunk) so any change
+        // in chunk boundaries or reduction order would show up.
+        let run = |threads: usize| {
+            par_chunks_map_reduce(
+                threads,
+                &items,
+                chunk,
+                |c| c.iter().product::<f64>() - c.iter().sum::<f64>(),
+                1.0f64,
+                |a, x| a * 0.5 + x,
+            )
+        };
+        let reference = run(1);
+        for threads in [2, 3, 4, 7, 9] {
+            prop_assert_eq!(run(threads).to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunks_map_reduce_preserves_chunk_order(
+        len in 0usize..120,
+        chunk in 0usize..13,
+        threads in 1usize..10,
+    ) {
+        let items: Vec<usize> = (0..len).collect();
+        let collected = par_chunks_map_reduce(
+            threads,
+            &items,
+            chunk,
+            |c| c.to_vec(),
+            Vec::new(),
+            |mut acc: Vec<usize>, mut part| {
+                acc.append(&mut part);
+                acc
+            },
+        );
+        // Ordered reduction over fixed chunks reassembles the input.
+        prop_assert_eq!(collected, items);
+    }
+
+    #[test]
+    fn index_map_equals_serial_map(
+        n in 0usize..300,
+        threads in 1usize..10,
+        salt in 0u64..1000,
+    ) {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(7) ^ salt;
+        let par = par_index_map(threads, n, f);
+        let seq: Vec<u64> = (0..n).map(f).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn effective_chunk_size_is_thread_independent_and_sane(
+        len in 1usize..10_000,
+        chunk in 0usize..64,
+    ) {
+        let c = effective_chunk_size(len, chunk);
+        prop_assert!(c >= 1);
+        if chunk > 0 {
+            prop_assert_eq!(c, chunk);
+        } else {
+            // Automatic sizing targets a bounded number of chunks.
+            prop_assert!(len.div_ceil(c) <= 64);
+        }
+    }
+}

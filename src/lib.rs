@@ -21,6 +21,9 @@
 //! * [`dataset`] ([`revmax_dataset`]) — a seeded synthetic stand-in for the
 //!   paper's (unavailable) Amazon Books ratings crawl, plus loaders for real
 //!   data.
+//! * [`par`] ([`revmax_par`]) — deterministic parallel execution primitives
+//!   (`std::thread::scope`, no dependencies); results are bit-identical
+//!   regardless of the thread count (`DESIGN.md` §6).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@ pub use revmax_dataset as dataset;
 pub use revmax_fim as fim;
 pub use revmax_ilp as ilp;
 pub use revmax_matching as matching;
+pub use revmax_par as par;
 
 /// Library version, mirroring the workspace version.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

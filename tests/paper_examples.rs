@@ -93,6 +93,51 @@ fn ratings_conversion_matches_section_611() {
 }
 
 #[test]
+fn table1_and_section42_numbers_hold_at_four_threads() {
+    // Golden regression for the parallel execution layer: the paper's
+    // headline numbers must hold under `--threads 4` exactly as they do at
+    // the default, down to the usual tolerance — Table 1's $27 Components
+    // / $30.40 pure bundling, and §4.2's $32 mixed bundling with the
+    // bundle at $15.20 over components at $8 and $8.
+    let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
+    let m = Market::new(w, Params::default().with_theta(-0.05).with_threads(Threads::Fixed(4)));
+    assert_eq!(m.threads(), 4);
+
+    let components = Components::optimal().run(&m);
+    assert!((components.revenue - 27.0).abs() < 1e-9);
+
+    let pure = PureMatching::default().run(&m);
+    assert!((pure.revenue - 30.4).abs() < 1e-9);
+    assert_eq!(pure.config.roots.len(), 1);
+    assert!((pure.config.roots[0].price - 15.2).abs() < 1e-9);
+
+    // Mixed bundling (§4.2 incremental policy): components at $8 / $11,
+    // bundle offer at $12 — u1 upgrades (add-on B implicitly $4 = w_B),
+    // u3 upgrades (add-on A implicitly $1 ≤ $5), u2 keeps A →
+    // $12 + $8 + $12 = $32.
+    let mixed = MixedMatching::default().run(&m);
+    assert!((mixed.revenue - 32.0).abs() < 1e-9);
+    assert_eq!(mixed.config.roots.len(), 1);
+    assert!((mixed.config.roots[0].price - 12.0).abs() < 1e-9);
+    let mut child_prices: Vec<f64> =
+        mixed.config.roots[0].children.iter().map(|c| c.price).collect();
+    child_prices.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(child_prices.len(), 2);
+    assert!((child_prices[0] - 8.0).abs() < 1e-9);
+    assert!((child_prices[1] - 11.0).abs() < 1e-9);
+    assert!((mixed.config.expected_revenue(&m) - 32.0).abs() < 1e-9);
+
+    // §4.2's exact pricing building blocks, still intact at 4 threads.
+    let mut s = m.scratch();
+    let a = m.price_pure(&[0], &mut s);
+    assert!((a.price - 8.0).abs() < 1e-9);
+    assert!((a.revenue - 16.0).abs() < 1e-9);
+    let ab = m.price_pure(&[0, 1], &mut s);
+    assert!((ab.price - 15.2).abs() < 1e-9);
+    assert!((ab.revenue - 30.4).abs() < 1e-9);
+}
+
+#[test]
 fn all_methods_never_lose_to_components() {
     // "Bundling outperforms, or at least equals, Components, because it
     // reverts to Components if it cannot find a better solution."

@@ -1,0 +1,180 @@
+//! Differential test suite for the parallel execution layer: every
+//! configurator and the WSP comparators must produce **bit-identical**
+//! outcomes — revenues, prices, bundle sets, and iteration traces — at 1,
+//! 2, 4, and 7 threads, across many generator seeds. This is the
+//! determinism contract of `DESIGN.md` §6, enforced end to end through the
+//! public facade.
+//!
+//! Wall-clock fields (`enumeration_time`, per-iteration `elapsed`) are the
+//! only values excluded from the comparison: time is the one thing the
+//! thread count is *supposed* to change.
+
+use revmax::core::config::{OfferNode, Outcome};
+use revmax::core::prelude::*;
+use revmax::core::wsp;
+use revmax::dataset::AmazonBooksConfig;
+use std::fmt::Write as _;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+const SEEDS: std::ops::Range<u64> = 0..8;
+
+/// Canonical bit-exact serialization of an offer tree: item ids, the raw
+/// bits of every price, and the child structure.
+fn canon_node(n: &OfferNode, out: &mut String) {
+    write!(out, "[{:?}@{:016x}", n.bundle.items(), n.price.to_bits()).unwrap();
+    for c in &n.children {
+        canon_node(c, out);
+    }
+    out.push(']');
+}
+
+/// Canonical bit-exact serialization of an outcome: revenues, metrics,
+/// trace (revenue bits + bundle counts per iteration), and the full
+/// configuration.
+fn canon_outcome(o: &Outcome) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "{}|rev:{:016x}|comp:{:016x}|cov:{:016x}|gain:{:016x}|",
+        o.algorithm,
+        o.revenue.to_bits(),
+        o.components_revenue.to_bits(),
+        o.coverage.to_bits(),
+        o.gain.to_bits()
+    )
+    .unwrap();
+    for p in o.trace.points() {
+        write!(s, "it{}:{:016x}:{}|", p.iteration, p.revenue.to_bits(), p.n_bundles).unwrap();
+    }
+    for r in &o.config.roots {
+        canon_node(r, &mut s);
+    }
+    s
+}
+
+/// The seven comparative methods of §6.2.
+fn all_configurators() -> Vec<Box<dyn Configurator>> {
+    vec![
+        Box::new(Components::optimal()),
+        Box::new(PureMatching::default()),
+        Box::new(PureGreedy::default()),
+        Box::new(MixedMatching::default()),
+        Box::new(MixedGreedy::default()),
+        Box::new(PureFreqItemset::default()),
+        Box::new(MixedFreqItemset::default()),
+    ]
+}
+
+/// Synthetic ratings market at unit-test scale, per seed and thread count.
+fn generated_market(seed: u64, threads: usize) -> Market {
+    let data = AmazonBooksConfig::small().generate(seed);
+    let params = Params::default().with_threads(Threads::Fixed(threads));
+    let wtp = WtpMatrix::from_ratings(
+        data.n_users(),
+        data.n_items(),
+        data.ratings().iter().map(|r| (r.user, r.item, r.stars)),
+        data.prices(),
+        params.lambda,
+    );
+    Market::new(wtp, params)
+}
+
+/// Small dense market (10 items) for the exponential WSP comparators.
+fn wsp_market(seed: u64, threads: usize) -> Market {
+    let rows: Vec<Vec<f64>> = (0..40u64)
+        .map(|u| {
+            (0..10u64)
+                .map(|i| {
+                    // Deterministic pseudo-random WTP in [0, 12) with ~35%
+                    // sparsity, varying per seed.
+                    let h = (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (u * 131 + i * 17))
+                        .wrapping_mul(0xD134_2543_DE82_EF95);
+                    if h % 100 < 35 {
+                        0.0
+                    } else {
+                        ((h >> 32) % 1200) as f64 / 100.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Market::new(
+        WtpMatrix::from_rows(rows),
+        Params::default().with_theta(0.05).with_threads(Threads::Fixed(threads)),
+    )
+}
+
+#[test]
+fn configurators_bit_identical_across_thread_counts() {
+    for seed in SEEDS {
+        let reference: Vec<String> = all_configurators()
+            .iter()
+            .map(|m| canon_outcome(&m.run(&generated_market(seed, 1))))
+            .collect();
+        for &threads in &THREAD_COUNTS[1..] {
+            let market = generated_market(seed, threads);
+            for (m, want) in all_configurators().iter().zip(&reference) {
+                let got = canon_outcome(&m.run(&market));
+                assert_eq!(
+                    &got,
+                    want,
+                    "{} diverged at {} threads (seed {})",
+                    m.name(),
+                    threads,
+                    seed
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wsp_comparators_bit_identical_across_thread_counts() {
+    for seed in SEEDS {
+        let m1 = wsp_market(seed, 1);
+        let table1 = wsp::enumerate_subset_revenues(&m1);
+        let ref_opt = canon_outcome(&wsp::optimal(&m1, &table1));
+        let ref_gw = canon_outcome(&wsp::greedy_wsp(&m1, &table1));
+        for &threads in &THREAD_COUNTS[1..] {
+            let mt = wsp_market(seed, threads);
+            let table = wsp::enumerate_subset_revenues(&mt);
+            for mask in 0..table.revenue.len() {
+                assert_eq!(
+                    table.revenue[mask].to_bits(),
+                    table1.revenue[mask].to_bits(),
+                    "subset revenue diverged at mask {mask}, {threads} threads (seed {seed})"
+                );
+                assert_eq!(
+                    table.price[mask].to_bits(),
+                    table1.price[mask].to_bits(),
+                    "subset price diverged at mask {mask}, {threads} threads (seed {seed})"
+                );
+            }
+            assert_eq!(canon_outcome(&wsp::optimal(&mt, &table)), ref_opt, "seed {seed}");
+            assert_eq!(canon_outcome(&wsp::greedy_wsp(&mt, &table)), ref_gw, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn env_var_default_does_not_change_results() {
+    // Whatever REVMAX_THREADS resolves to in this environment (the CI
+    // matrix pins 1 and 8), Auto must agree with an explicit Fixed(1).
+    let data = AmazonBooksConfig::small().generate(42);
+    let build = |threads: Threads| {
+        let params = Params::default().with_threads(threads);
+        let wtp = WtpMatrix::from_ratings(
+            data.n_users(),
+            data.n_items(),
+            data.ratings().iter().map(|r| (r.user, r.item, r.stars)),
+            data.prices(),
+            params.lambda,
+        );
+        Market::new(wtp, params)
+    };
+    let auto = build(Threads::Auto);
+    let one = build(Threads::Fixed(1));
+    for m in all_configurators() {
+        assert_eq!(canon_outcome(&m.run(&auto)), canon_outcome(&m.run(&one)), "{}", m.name());
+    }
+}
