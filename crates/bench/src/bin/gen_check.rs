@@ -16,23 +16,14 @@ fn main() {
     let wtp = WtpMatrix::from_ratings(
         data.n_users(),
         data.n_items(),
-        data.ratings().iter().map(|r| (r.user, r.item, r.stars)),
+        data.triples(),
         data.prices(),
         params.lambda,
     );
     let market = Market::new(wtp, params);
     println!("total WTP: {:.0}", market.total_wtp());
 
-    let algos: Vec<Box<dyn Configurator>> = vec![
-        Box::new(Components::optimal()),
-        Box::new(PureMatching::default()),
-        Box::new(PureGreedy::default()),
-        Box::new(MixedMatching::default()),
-        Box::new(MixedGreedy::default()),
-        Box::new(PureFreqItemset::default()),
-        Box::new(MixedFreqItemset::default()),
-    ];
-    for a in algos {
+    for (_, a) in registry() {
         let t = Instant::now();
         let out = a.run(&market);
         println!(

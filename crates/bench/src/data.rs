@@ -19,12 +19,13 @@ pub fn dataset(scale: Scale, seed: u64) -> RatingsData {
 }
 
 /// Build the WTP matrix from ratings data under `params` (λ applied per
-/// §6.1.1) and wrap it in a market.
+/// §6.1.1) and wrap it in a market. The ratings stream straight into the
+/// dual-CSR builder — no intermediate per-row/per-column vectors.
 pub fn market_from(data: &RatingsData, params: Params) -> Market {
     let wtp = WtpMatrix::from_ratings(
         data.n_users(),
         data.n_items(),
-        data.ratings().iter().map(|r| (r.user, r.item, r.stars)),
+        data.triples(),
         data.prices(),
         params.lambda,
     );

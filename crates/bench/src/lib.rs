@@ -12,25 +12,23 @@ pub mod runstats;
 
 use revmax_core::prelude::*;
 
-/// All seven comparative methods of Section 6.2, in the paper's order.
+/// All seven comparative methods of Section 6.2, in the paper's order —
+/// drawn from the single authoritative list,
+/// [`revmax_core::algorithms::registry`].
 pub fn all_methods() -> Vec<Box<dyn Configurator>> {
-    vec![
-        Box::new(Components::optimal()),
-        Box::new(PureMatching::default()),
-        Box::new(PureGreedy::default()),
-        Box::new(MixedMatching::default()),
-        Box::new(MixedGreedy::default()),
-        Box::new(PureFreqItemset::default()),
-        Box::new(MixedFreqItemset::default()),
-    ]
+    registry().into_iter().map(|(_, c)| c).collect()
 }
 
-/// The four proposed algorithms (no baselines).
+/// The four proposed algorithms (no baselines), looked up from the
+/// registry by their exact names so future registry additions cannot
+/// silently join this set.
 pub fn proposed_methods() -> Vec<Box<dyn Configurator>> {
-    vec![
-        Box::new(PureMatching::default()),
-        Box::new(PureGreedy::default()),
-        Box::new(MixedMatching::default()),
-        Box::new(MixedGreedy::default()),
-    ]
+    const PROPOSED: [&str; 4] = ["Pure Matching", "Pure Greedy", "Mixed Matching", "Mixed Greedy"];
+    let out: Vec<Box<dyn Configurator>> = registry()
+        .into_iter()
+        .filter(|(name, _)| PROPOSED.contains(name))
+        .map(|(_, c)| c)
+        .collect();
+    assert_eq!(out.len(), PROPOSED.len(), "registry is missing a proposed method");
+    out
 }

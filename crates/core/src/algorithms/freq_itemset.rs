@@ -41,10 +41,12 @@ pub struct FreqItemsetConfigurator {
 
 impl FreqItemsetConfigurator {
     fn candidates(&self, market: &Market) -> Vec<Bundle> {
-        let transactions: Vec<Vec<u32>> = (0..market.n_users() as u32)
-            .map(|u| market.wtp().row(u).iter().map(|&(i, _)| i).collect())
-            .collect();
-        let db = TransactionDb::from_transactions(market.n_items(), &transactions);
+        // Vertical construction straight from the CSR item columns: each
+        // item's rater bitmap IS its transaction bitmap (consumers are the
+        // transactions), so no per-user item lists are materialized.
+        let bitmaps: Vec<revmax_fim::Bitmap> =
+            (0..market.n_items() as u32).map(|i| market.item_raters(i)).collect();
+        let db = TransactionDb::from_item_bitmaps(market.n_users(), bitmaps);
         let minsup = relative_minsup(self.opts.minsup, market.n_users());
         let size_cap = market.params().size_cap;
         mine_maximal_with_threads(&db, minsup, market.threads())

@@ -23,6 +23,42 @@ pub trait Configurator {
     fn run(&self, market: &Market) -> Outcome;
 }
 
+/// Per-family options for [`registry_with`]: one knob set per engine,
+/// defaulted to the paper's settings.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegistryOptions {
+    pub greedy: GreedyOptions,
+    pub freq: FreqOptions,
+    pub matching: MatchingOptions,
+}
+
+/// The seven comparative methods of Section 6.2 in the paper's order, each
+/// paired with its canonical name. **The** single place the configurator
+/// list is defined — the experiment harness, the determinism suite, and
+/// the examples all draw from here.
+pub fn registry() -> Vec<(&'static str, Box<dyn Configurator>)> {
+    registry_with(RegistryOptions::default())
+}
+
+/// [`registry`] with explicit engine options (ablations, sweeps).
+pub fn registry_with(opts: RegistryOptions) -> Vec<(&'static str, Box<dyn Configurator>)> {
+    let RegistryOptions { greedy, freq, matching } = opts;
+    vec![
+        ("Components", Box::new(Components::optimal()) as Box<dyn Configurator>),
+        ("Pure Matching", Box::new(PureMatching { opts: matching })),
+        ("Pure Greedy", Box::new(PureGreedy { opts: greedy })),
+        ("Mixed Matching", Box::new(MixedMatching { opts: matching })),
+        ("Mixed Greedy", Box::new(MixedGreedy { opts: greedy })),
+        ("Pure FreqItemset", Box::new(PureFreqItemset { opts: freq })),
+        ("Mixed FreqItemset", Box::new(MixedFreqItemset { opts: freq })),
+    ]
+}
+
+/// Look one configurator up by its registry name (default options).
+pub fn by_name(name: &str) -> Option<Box<dyn Configurator>> {
+    registry().into_iter().find(|(n, _)| *n == name).map(|(_, c)| c)
+}
+
 #[cfg(test)]
 pub(crate) mod test_support {
     use crate::market::Market;
@@ -58,6 +94,58 @@ pub(crate) mod test_support {
     pub fn substitutes() -> Market {
         let w = WtpMatrix::from_rows(vec![vec![10.0, 10.0], vec![10.0, 10.0], vec![10.0, 10.0]]);
         Market::new(w, Params::default().with_theta(-0.5))
+    }
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_the_seven_methods_in_paper_order() {
+        let names: Vec<&str> = registry().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Components",
+                "Pure Matching",
+                "Pure Greedy",
+                "Mixed Matching",
+                "Mixed Greedy",
+                "Pure FreqItemset",
+                "Mixed FreqItemset",
+            ]
+        );
+    }
+
+    #[test]
+    fn registry_keys_agree_with_configurator_names() {
+        for (key, c) in registry() {
+            assert_eq!(key, c.name());
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        let c = by_name("Mixed Matching").expect("known name");
+        assert_eq!(c.name(), "Mixed Matching");
+        assert!(by_name("No Such Method").is_none());
+    }
+
+    #[test]
+    fn registry_with_honours_options() {
+        let opts = RegistryOptions { freq: FreqOptions { minsup: 0.25 }, ..Default::default() };
+        let m = test_support::table1();
+        // Same market, same options → same outcome through the registry as
+        // through a hand-built configurator.
+        let via_registry = registry_with(opts)
+            .into_iter()
+            .find(|(n, _)| *n == "Pure FreqItemset")
+            .unwrap()
+            .1
+            .run(&m);
+        let direct = PureFreqItemset { opts: FreqOptions { minsup: 0.25 } }.run(&m);
+        assert_eq!(via_registry.revenue.to_bits(), direct.revenue.to_bits());
     }
 }
 

@@ -9,12 +9,14 @@
 //!
 //! ## Model (Sections 3–4 of the paper)
 //!
-//! * **WTP**: [`WtpMatrix`] holds `w[u][i] ≥ 0`, either given directly or
-//!   mined from star ratings via the λ-linear map of §6.1.1
-//!   ([`WtpMatrix::from_ratings`]).
+//! * **WTP**: [`wtp::WtpMatrix`] holds `w[u][i] ≥ 0`, either given
+//!   directly or mined from star ratings via the λ-linear map of §6.1.1
+//!   ([`wtp::WtpMatrix::from_ratings`]). Storage is a flat dual-CSR arena
+//!   shared across clones and zero-copy sub-market views
+//!   ([`market::MarketView`], `DESIGN.md` §7).
 //! * **Bundle WTP** (Eq. 1): `w_{u,b} = (1+θ)·Σ_{i∈b} w_{u,i}` for
 //!   `|b| ≥ 2`; singletons are the raw item WTP.
-//! * **Adoption** (Eq. 6): [`AdoptionModel`] — sigmoid
+//! * **Adoption** (Eq. 6): [`adoption::AdoptionModel`] — sigmoid
 //!   `σ(γ(α·w − p + ε))`; `γ → ∞` recovers the classical step rule
 //!   "buy iff `w ≥ p`".
 //! * **Pricing** (§4.2): [`pricing`] searches `T` discretized price levels
@@ -33,6 +35,10 @@
 //! | Pure/Mixed Greedy (Alg. 2) | [`algorithms::GreedyConfigurator`] |
 //! | Pure/Mixed FreqItemset (§6.1.3 baseline) | [`algorithms::FreqItemsetConfigurator`] |
 //! | Optimal / Greedy WSP (§5.2) | [`wsp`] |
+//!
+//! All seven comparative methods are listed — once — by
+//! [`algorithms::registry`], with by-name lookup via
+//! [`algorithms::by_name`].
 //!
 //! All configurators revert to `Components` when bundling cannot help, so
 //! their revenue never drops below the non-bundling baseline — the
@@ -77,13 +83,13 @@ pub mod wtp;
 pub mod prelude {
     pub use crate::adoption::AdoptionModel;
     pub use crate::algorithms::{
-        Components, Configurator, FreqItemsetConfigurator, GreedyConfigurator,
-        MatchingConfigurator, MixedFreqItemset, MixedGreedy, MixedMatching, PureFreqItemset,
-        PureGreedy, PureMatching,
+        registry, registry_with, Components, Configurator, FreqItemsetConfigurator,
+        GreedyConfigurator, MatchingConfigurator, MixedFreqItemset, MixedGreedy, MixedMatching,
+        PureFreqItemset, PureGreedy, PureMatching, RegistryOptions,
     };
     pub use crate::bundle::Bundle;
     pub use crate::config::{BundleConfig, Outcome, Strategy};
-    pub use crate::market::Market;
+    pub use crate::market::{Market, MarketView};
     pub use crate::metrics::{revenue_coverage, revenue_gain};
     pub use crate::params::{Params, SizeCap, Threads};
     pub use crate::wtp::WtpMatrix;

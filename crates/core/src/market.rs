@@ -1,5 +1,13 @@
 //! The market: a WTP matrix plus model parameters, with the scratch-buffer
-//! machinery that makes repeated bundle-revenue queries cheap.
+//! machinery that makes repeated bundle-revenue queries cheap, and the
+//! zero-copy [`MarketView`] sub-market machinery (`DESIGN.md` §7).
+//!
+//! The WTP storage is a shared dual-CSR arena ([`crate::wtp`]), so a
+//! market's hot query — [`Market::bundle_user_sums`], a scatter loop over
+//! the contiguous column slices of the bundle's items — never chases
+//! per-row heap pointers, and a [`MarketView`] (per-genre, per-cohort,
+//! per-shard restriction) answers the very same queries over the very same
+//! arena without rebuilding anything.
 
 use crate::bundle::Bundle;
 use crate::params::Params;
@@ -68,7 +76,8 @@ impl Market {
     }
 
     /// Per-user raw WTP sums over `items` (only users with a positive sum),
-    /// sorted by user id. Cost: O(Σ nnz of the item columns + sort).
+    /// sorted by user id. A scatter loop over the contiguous CSR column
+    /// slices: O(Σ nnz of the item columns + sort of the touched set).
     pub fn bundle_user_sums<'a>(
         &self,
         items: &[u32],
@@ -76,7 +85,8 @@ impl Market {
     ) -> &'a [(u32, f64)] {
         scratch.pairs.clear();
         for &i in items {
-            for &(u, w) in self.wtp.col(i) {
+            let col = self.wtp.col(i);
+            for (&u, &w) in col.ids.iter().zip(col.values) {
                 let slot = &mut scratch.acc[u as usize];
                 if *slot == 0.0 {
                     scratch.touched.push(u);
@@ -123,7 +133,7 @@ impl Market {
     /// prices.
     pub fn price_listed(&self, item: u32) -> Option<PricedOutcome> {
         let price = self.wtp.listed_price(item)?;
-        let values: Vec<f64> = self.wtp.col(item).iter().map(|&(_, w)| w).collect();
+        let values: Vec<f64> = self.wtp.col(item).values.to_vec();
         Some(pricing::optimize_with_price_list(&values, &self.pricing, &[price]))
     }
 
@@ -132,11 +142,14 @@ impl Market {
     /// items for which at least one customer has non-zero willingness to
     /// pay for both").
     pub fn co_rated_pairs(&self) -> Vec<(u32, u32)> {
+        // Dedup on the fly: heavy raters contribute O(degree²) pairs each,
+        // so buffering duplicates before a sort would blow memory up from
+        // O(unique pairs) to O(Σ degree²).
         let mut seen = std::collections::HashSet::new();
         for u in 0..self.n_users() as u32 {
-            let row = self.wtp.row(u);
-            for (a_idx, &(i, _)) in row.iter().enumerate() {
-                for &(j, _) in &row[a_idx + 1..] {
+            let row = self.wtp.row(u).ids;
+            for (a_idx, &i) in row.iter().enumerate() {
+                for &j in &row[a_idx + 1..] {
                     seen.insert((i, j));
                 }
             }
@@ -146,13 +159,121 @@ impl Market {
         out
     }
 
-    /// Rater bitmap of a single item (users with positive WTP).
+    /// Rater bitmap of a single item (users with positive WTP), set
+    /// directly from the item's CSR column.
     pub fn item_raters(&self, item: u32) -> revmax_fim::Bitmap {
         let mut bm = revmax_fim::Bitmap::zeros(self.n_users());
-        for &(u, _) in self.wtp.col(item) {
+        for &u in self.wtp.col(item).ids {
             bm.set(u as usize);
         }
         bm
+    }
+
+    /// Zero-copy sub-market over an item subset and/or user subset (`None`
+    /// keeps the axis whole). The view shares this market's WTP arena,
+    /// parameters, and resolved pricing context; ids are remapped densely
+    /// in ascending order of the originals, so any configurator run on the
+    /// view is bit-identical to one run on a market rebuilt from the
+    /// restricted triples.
+    pub fn view(&self, items: Option<&[u32]>, users: Option<&[u32]>) -> MarketView {
+        // Normalize each subset once (sorted, deduplicated, parent-local
+        // ids); `restrict` receives the normalized slices, so its own
+        // resolve pass has nothing left to reorder.
+        let normalize = |subset: Option<&[u32]>, n: usize| -> Vec<u32> {
+            match subset {
+                Some(s) => {
+                    let mut v = s.to_vec();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                }
+                None => (0..n as u32).collect(),
+            }
+        };
+        let parent_items = normalize(items, self.n_items());
+        let parent_users = normalize(users, self.n_users());
+        let wtp =
+            self.wtp.restrict(items.map(|_| &parent_items[..]), users.map(|_| &parent_users[..]));
+        MarketView {
+            market: Market { wtp, params: self.params, pricing: self.pricing },
+            parent_items,
+            parent_users,
+            label: None,
+        }
+    }
+
+    /// Partition the consumers into labeled segments: one [`MarketView`]
+    /// per distinct label (ascending), each holding every item but only
+    /// that label's users. `labels[u]` is user `u`'s segment. The gateway
+    /// to per-genre / per-cohort / per-shard solves: every configurator
+    /// runs unchanged on each returned view.
+    pub fn partition_by(&self, labels: &[u32]) -> Vec<MarketView> {
+        assert_eq!(labels.len(), self.n_users(), "one label per consumer");
+        // One bucketing pass: users land in their segment's list in
+        // ascending user order, so each view's id remap is already sorted.
+        let mut distinct: Vec<u32> = labels.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let slot: std::collections::HashMap<u32, usize> =
+            distinct.iter().enumerate().map(|(k, &lab)| (lab, k)).collect();
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); distinct.len()];
+        for (u, &lab) in labels.iter().enumerate() {
+            buckets[slot[&lab]].push(u as u32);
+        }
+        distinct
+            .into_iter()
+            .zip(buckets)
+            .map(|(lab, users)| {
+                let mut v = self.view(None, Some(&users));
+                v.label = Some(lab);
+                v
+            })
+            .collect()
+    }
+}
+
+/// A zero-copy restriction of a [`Market`] to an item and/or user subset.
+///
+/// Dereferences to [`Market`], so every [`crate::algorithms::Configurator`]
+/// — and any other consumer of the market query API (`bundle_user_sums`,
+/// `bundle_wtps`, `price_pure`, …) — runs on a view unchanged. The view
+/// keeps the maps back to the parent's ids for reassembling per-segment
+/// results.
+#[derive(Debug, Clone)]
+pub struct MarketView {
+    market: Market,
+    parent_items: Vec<u32>,
+    parent_users: Vec<u32>,
+    label: Option<u32>,
+}
+
+impl MarketView {
+    /// The restricted market itself (what `Deref` returns).
+    pub fn market(&self) -> &Market {
+        &self.market
+    }
+
+    /// Local item id → parent item id, ascending.
+    pub fn parent_items(&self) -> &[u32] {
+        &self.parent_items
+    }
+
+    /// Local user id → parent user id, ascending.
+    pub fn parent_users(&self) -> &[u32] {
+        &self.parent_users
+    }
+
+    /// Segment label, when produced by [`Market::partition_by`].
+    pub fn label(&self) -> Option<u32> {
+        self.label
+    }
+}
+
+impl std::ops::Deref for MarketView {
+    type Target = Market;
+
+    fn deref(&self) -> &Market {
+        &self.market
     }
 }
 
@@ -274,5 +395,67 @@ mod tests {
         let out = m.price_pure(&[], &mut s);
         assert_eq!(out.revenue, 0.0);
         assert_eq!(out.expected_buyers, 0.0);
+    }
+
+    #[test]
+    fn user_view_answers_queries_locally() {
+        let m = table1();
+        // Users 0 and 2 only.
+        let v = m.view(None, Some(&[0, 2]));
+        assert_eq!(v.n_users(), 2);
+        assert_eq!(v.n_items(), 2);
+        let mut s = v.scratch();
+        let sums = v.bundle_user_sums(&[0, 1], &mut s);
+        assert_eq!(sums, &[(0, 16.0), (1, 16.0)]);
+        // Optimal pure bundle price over {u1, u3}: both at 15.2 → 30.4.
+        let priced = v.price_pure(&[0, 1], &mut s);
+        assert!((priced.revenue - 30.4).abs() < 1e-9);
+        assert_eq!(v.parent_users(), &[0, 2]);
+    }
+
+    #[test]
+    fn view_equals_market_rebuilt_from_restricted_triples() {
+        let m = table1();
+        let v = m.view(Some(&[0]), Some(&[1, 2]));
+        let rebuilt = Market::new(
+            WtpMatrix::from_rows(vec![vec![8.0], vec![5.0]]),
+            Params::default().with_theta(-0.05),
+        );
+        let mut sv = v.scratch();
+        let mut sr = rebuilt.scratch();
+        let pv = v.price_pure(&[0], &mut sv);
+        let pr = rebuilt.price_pure(&[0], &mut sr);
+        assert_eq!(pv.price.to_bits(), pr.price.to_bits());
+        assert_eq!(pv.revenue.to_bits(), pr.revenue.to_bits());
+        assert_eq!(v.total_wtp(), rebuilt.total_wtp());
+    }
+
+    #[test]
+    fn partition_by_covers_all_users_once() {
+        let m = table1();
+        let views = m.partition_by(&[7, 3, 7]);
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].label(), Some(3));
+        assert_eq!(views[0].parent_users(), &[1]);
+        assert_eq!(views[1].label(), Some(7));
+        assert_eq!(views[1].parent_users(), &[0, 2]);
+        let total: usize = views.iter().map(|v| v.n_users()).sum();
+        assert_eq!(total, m.n_users());
+        // Views share the parent's resolved thread count.
+        for v in &views {
+            assert_eq!(v.threads(), m.threads());
+        }
+    }
+
+    #[test]
+    fn configurator_runs_unchanged_on_a_view() {
+        use crate::algorithms::{Components, Configurator};
+        let m = table1();
+        let v = m.view(None, Some(&[0, 2]));
+        // Deref coercion: a &MarketView is a &Market to any configurator.
+        let out = Components::optimal().run(&v);
+        // u1 and u3 alone: item A sells at 12 or 5x2=10 → 12; B at 11 or 4
+        // … optimal per-item prices over {12, 5} and {4, 11}.
+        assert!((out.revenue - (12.0 + 11.0)).abs() < 1e-9);
     }
 }

@@ -75,7 +75,7 @@ pub fn init_component(market: &Market, item: u32, scratch: &mut Scratch) -> TopO
     let adoption = market.pricing_ctx().adoption;
     let mut states = Vec::new();
     let mut revenue = 0.0;
-    for &(u, w) in market.wtp().col(item) {
+    for (u, w) in market.wtp().col(item).iter() {
         if adoption.margin(w, outcome.price) >= 0.0 {
             states.push(UserState { user: u, held_sum: w, paid: outcome.price, held_count: 1 });
             revenue += outcome.price;

@@ -49,12 +49,14 @@ pub fn enumerate_subset_revenues(market: &Market) -> SubsetRevenues {
     let start = Instant::now();
     let full = 1usize << n;
 
-    // Consumers with any interest in these items, with dense re-indexing.
+    // Consumers with any interest in these items, with dense re-indexing
+    // (a flat rank vector — no hashing on the enumeration's build path).
     let mut relevant: Vec<u32> = Vec::new();
+    let mut rank = vec![usize::MAX; market.n_users()];
     {
         let mut seen = vec![false; market.n_users()];
         for i in 0..n as u32 {
-            for &(u, _) in market.wtp().col(i) {
+            for &u in market.wtp().col(i).ids {
                 if !seen[u as usize] {
                     seen[u as usize] = true;
                     relevant.push(u);
@@ -62,12 +64,14 @@ pub fn enumerate_subset_revenues(market: &Market) -> SubsetRevenues {
             }
         }
         relevant.sort_unstable();
+        for (k, &u) in relevant.iter().enumerate() {
+            rank[u as usize] = k;
+        }
     }
-    let uidx: std::collections::HashMap<u32, usize> =
-        relevant.iter().enumerate().map(|(k, &u)| (u, k)).collect();
-    // Dense per-item columns over the relevant consumers.
+    // Dense per-item columns over the relevant consumers, read straight off
+    // the CSR column slices.
     let cols: Vec<Vec<(usize, f64)>> = (0..n as u32)
-        .map(|i| market.wtp().col(i).iter().map(|&(u, w)| (uidx[&u], w)).collect())
+        .map(|i| market.wtp().col(i).iter().map(|(u, w)| (rank[u as usize], w)).collect())
         .collect();
 
     let params = *market.params();

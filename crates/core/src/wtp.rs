@@ -1,16 +1,43 @@
 //! The willingness-to-pay matrix `W` and the ratings→WTP conversion.
+//!
+//! Storage is a **flat dual-CSR arena** (`DESIGN.md` §7): one contiguous
+//! `indptr`/`indices`/`values` triple per orientation (item-major columns
+//! and user-major rows), built once from `(user, item, wtp)` triples and
+//! shared behind an [`std::sync::Arc`]. A [`WtpMatrix`] is either the whole
+//! arena or a **zero-copy view** of it restricted to an item and/or user
+//! subset with dense remapped ids; restricted slices are materialized
+//! lazily, once, on first access. Iteration order over a column (ascending
+//! user) and a row (ascending item) is identical for the arena and every
+//! view, which is what preserves the bit-identical determinism contract of
+//! `DESIGN.md` §6 across sub-market solves.
 
-/// Sparse `M × N` willingness-to-pay matrix. Zero entries (consumer has no
-/// interest in the item) are not stored; both row (per-user) and column
-/// (per-item) views are kept because the algorithms need both.
+use std::sync::{Arc, OnceLock};
+
+/// One CSR orientation: entries of major index `k` live in
+/// `indices[indptr[k]..indptr[k+1]]` / `values[..]`, minor ids ascending.
 #[derive(Debug, Clone, PartialEq)]
-pub struct WtpMatrix {
+struct CsrHalf {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrHalf {
+    fn slice(&self, major: usize) -> SparseSlice<'_> {
+        let (lo, hi) = (self.indptr[major], self.indptr[major + 1]);
+        SparseSlice { ids: &self.indices[lo..hi], values: &self.values[lo..hi] }
+    }
+}
+
+/// The immutable dual-CSR arena: both orientations over one entry set.
+#[derive(Debug, PartialEq)]
+struct WtpStore {
     n_users: usize,
     n_items: usize,
-    /// Per item: (user, wtp) with wtp > 0, sorted by user.
-    cols: Vec<Vec<(u32, f64)>>,
-    /// Per user: (item, wtp) with wtp > 0, sorted by item.
-    rows: Vec<Vec<(u32, f64)>>,
+    /// Item-major: per item, the (user, wtp) entries sorted by user.
+    cols: CsrHalf,
+    /// User-major: per user, the (item, wtp) entries sorted by item.
+    rows: CsrHalf,
     /// Σ of all entries — the upper bound of revenue and the denominator of
     /// the revenue-coverage metric (§6.1.2).
     total_wtp: f64,
@@ -19,23 +46,230 @@ pub struct WtpMatrix {
     listed_prices: Option<Vec<f64>>,
 }
 
+/// A borrowed sparse vector: parallel id/value slices, ids strictly
+/// ascending. The lending type of [`WtpMatrix::col`] / [`WtpMatrix::row`].
+#[derive(Debug, Clone, Copy)]
+pub struct SparseSlice<'a> {
+    /// Minor ids (users of a column, items of a row), ascending.
+    pub ids: &'a [u32],
+    /// WTP entries, parallel to `ids`.
+    pub values: &'a [f64],
+}
+
+impl<'a> SparseSlice<'a> {
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterate `(id, wtp)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + 'a {
+        self.ids.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Stored value at `id`, `0.0` if absent (binary search).
+    pub fn get(&self, id: u32) -> f64 {
+        self.ids.binary_search(&id).map(|k| self.values[k]).unwrap_or(0.0)
+    }
+}
+
+impl<'a> IntoIterator for SparseSlice<'a> {
+    type Item = (u32, f64);
+    type IntoIter = std::iter::Zip<
+        std::iter::Copied<std::slice::Iter<'a, u32>>,
+        std::iter::Copied<std::slice::Iter<'a, f64>>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.iter().copied().zip(self.values.iter().copied())
+    }
+}
+
+/// A restriction of the arena to an item and/or user subset.
+///
+/// Slices that survive unfiltered stay zero-copy (a column of a
+/// user-unrestricted view is the arena's column slice verbatim); slices
+/// that need filtering or id remapping are materialized lazily, once, on
+/// first access and cached here.
+#[derive(Debug)]
+struct ViewState {
+    /// Local item id → arena item id, strictly ascending.
+    item_map: Vec<u32>,
+    /// Local user id → arena user id, strictly ascending. Empty sentinel
+    /// never occurs: a user restriction always carries the kept ids.
+    user_map: Option<Vec<u32>>,
+    /// Arena user id → local user id (`u32::MAX` = excluded). Present iff
+    /// `user_map` is.
+    user_rank: Vec<u32>,
+    /// Arena item id → local item id (`u32::MAX` = excluded). Present iff
+    /// the item set is restricted.
+    item_rank: Vec<u32>,
+    /// True when `item_map` is a proper subset / remap of the arena items.
+    items_restricted: bool,
+    /// Lazily materialized filtered columns (only when users restricted).
+    lazy_cols: Vec<OnceLock<(Vec<u32>, Vec<f64>)>>,
+    /// Lazily materialized filtered rows (only when items restricted).
+    lazy_rows: Vec<OnceLock<(Vec<u32>, Vec<f64>)>>,
+    /// Σ of the entries inside the restriction.
+    total_wtp: f64,
+}
+
+/// Sparse `M × N` willingness-to-pay matrix over a shared dual-CSR arena.
+/// Zero entries (consumer has no interest in the item) are not stored; both
+/// the item-major and the user-major orientation are kept because the
+/// algorithms need both. Cloning is cheap (the arena is shared), and
+/// [`WtpMatrix::restrict`] produces zero-copy sub-matrix views.
+#[derive(Debug, Clone)]
+pub struct WtpMatrix {
+    store: Arc<WtpStore>,
+    view: Option<Arc<ViewState>>,
+}
+
+/// Logical equality: same dimensions, same stored entries (compared
+/// through the column views, so an arena and a view with identical
+/// content compare equal), and same listed prices per item.
+impl PartialEq for WtpMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        if self.n_users() != other.n_users() || self.n_items() != other.n_items() {
+            return false;
+        }
+        (0..self.n_items() as u32).all(|i| {
+            let (a, b) = (self.col(i), other.col(i));
+            a.ids == b.ids && a.values == b.values && self.listed_price(i) == other.listed_price(i)
+        })
+    }
+}
+
+/// Streaming builder for the dual-CSR arena: push `(user, item, wtp)`
+/// triples (any order), then [`CsrBuilder::finish`]. Duplicate
+/// `(user, item)` pairs are rejected in exactly one place — here — with a
+/// clear panic naming the offending pair.
+#[derive(Debug)]
+pub struct CsrBuilder {
+    n_users: usize,
+    n_items: usize,
+    triples: Vec<(u32, u32, f64)>,
+    listed_prices: Option<Vec<f64>>,
+}
+
+impl CsrBuilder {
+    /// Builder for an `n_users × n_items` matrix.
+    pub fn new(n_users: usize, n_items: usize) -> Self {
+        CsrBuilder { n_users, n_items, triples: Vec::new(), listed_prices: None }
+    }
+
+    /// Pre-size the entry buffer.
+    pub fn reserve(&mut self, nnz: usize) {
+        self.triples.reserve(nnz);
+    }
+
+    /// Attach listed per-item prices (one per item).
+    pub fn with_listed_prices(mut self, prices: Vec<f64>) -> Self {
+        assert_eq!(prices.len(), self.n_items, "one listed price per item");
+        self.listed_prices = Some(prices);
+        self
+    }
+
+    /// Add one entry. Panics on out-of-range ids or non-positive WTP.
+    pub fn push(&mut self, user: u32, item: u32, wtp: f64) {
+        assert!((user as usize) < self.n_users, "user {user} out of range");
+        assert!((item as usize) < self.n_items, "item {item} out of range");
+        assert!(wtp.is_finite() && wtp > 0.0, "sparse WTP entries must be positive, got {wtp}");
+        self.triples.push((user, item, wtp));
+    }
+
+    /// Sort, check for duplicates, and assemble both CSR orientations.
+    pub fn finish(self) -> WtpMatrix {
+        let CsrBuilder { n_users, n_items, mut triples, listed_prices } = self;
+        // One global (user, item) sort gives both orientations their order:
+        // rows fill sequentially already sorted by item, and the item-major
+        // scatter below preserves the ascending-user order inside columns.
+        triples.sort_unstable_by_key(|&(u, i, _)| (u, i));
+        for w in triples.windows(2) {
+            assert!(
+                (w[0].0, w[0].1) != (w[1].0, w[1].1),
+                "duplicate (user, item) entry: user {}, item {}",
+                w[1].0,
+                w[1].1
+            );
+        }
+        let nnz = triples.len();
+        let mut total = 0.0;
+
+        // Rows: sequential fill from the sorted triples.
+        let mut row_indptr = vec![0usize; n_users + 1];
+        let mut row_indices = Vec::with_capacity(nnz);
+        let mut row_values = Vec::with_capacity(nnz);
+        for &(u, i, w) in &triples {
+            row_indptr[u as usize + 1] += 1;
+            row_indices.push(i);
+            row_values.push(w);
+            total += w;
+        }
+        for k in 0..n_users {
+            row_indptr[k + 1] += row_indptr[k];
+        }
+
+        // Columns: counting scatter. Triples are visited in (user, item)
+        // order, so each column receives its users in ascending order.
+        let mut col_indptr = vec![0usize; n_items + 1];
+        for &(_, i, _) in &triples {
+            col_indptr[i as usize + 1] += 1;
+        }
+        for k in 0..n_items {
+            col_indptr[k + 1] += col_indptr[k];
+        }
+        let mut cursor = col_indptr[..n_items].to_vec();
+        let mut col_indices = vec![0u32; nnz];
+        let mut col_values = vec![0f64; nnz];
+        for &(u, i, w) in &triples {
+            let slot = &mut cursor[i as usize];
+            col_indices[*slot] = u;
+            col_values[*slot] = w;
+            *slot += 1;
+        }
+
+        WtpMatrix {
+            store: Arc::new(WtpStore {
+                n_users,
+                n_items,
+                cols: CsrHalf { indptr: col_indptr, indices: col_indices, values: col_values },
+                rows: CsrHalf { indptr: row_indptr, indices: row_indices, values: row_values },
+                total_wtp: total,
+                listed_prices,
+            }),
+            view: None,
+        }
+    }
+}
+
 impl WtpMatrix {
+    /// Streaming entry point: push triples, then finish.
+    pub fn builder(n_users: usize, n_items: usize) -> CsrBuilder {
+        CsrBuilder::new(n_users, n_items)
+    }
+
     /// Build from dense rows (`rows[u][i] = w_{u,i}`); all rows must share
     /// one length. Entries must be finite and ≥ 0; zeros are dropped.
     pub fn from_rows(dense: Vec<Vec<f64>>) -> Self {
         let n_users = dense.len();
         let n_items = dense.first().map_or(0, Vec::len);
-        let mut triples = Vec::new();
+        let mut b = Self::builder(n_users, n_items);
         for (u, row) in dense.iter().enumerate() {
             assert_eq!(row.len(), n_items, "ragged WTP rows");
             for (i, &w) in row.iter().enumerate() {
                 assert!(w.is_finite() && w >= 0.0, "WTP must be finite and >= 0, got {w}");
                 if w > 0.0 {
-                    triples.push((u as u32, i as u32, w));
+                    b.push(u as u32, i as u32, w);
                 }
             }
         }
-        Self::from_triples(n_users, n_items, triples, None)
+        b.finish()
     }
 
     /// Build from sparse `(user, item, wtp)` triples.
@@ -45,33 +279,20 @@ impl WtpMatrix {
         triples: Vec<(u32, u32, f64)>,
         listed_prices: Option<Vec<f64>>,
     ) -> Self {
-        if let Some(p) = &listed_prices {
-            assert_eq!(p.len(), n_items, "one listed price per item");
+        let mut b = Self::builder(n_users, n_items);
+        if let Some(p) = listed_prices {
+            b = b.with_listed_prices(p);
         }
-        let mut cols = vec![Vec::new(); n_items];
-        let mut rows = vec![Vec::new(); n_users];
-        let mut total = 0.0;
+        b.reserve(triples.len());
         for (u, i, w) in triples {
-            assert!((u as usize) < n_users, "user {u} out of range");
-            assert!((i as usize) < n_items, "item {i} out of range");
-            assert!(w.is_finite() && w > 0.0, "sparse WTP entries must be positive, got {w}");
-            cols[i as usize].push((u, w));
-            rows[u as usize].push((i, w));
-            total += w;
+            b.push(u, i, w);
         }
-        for col in &mut cols {
-            col.sort_unstable_by_key(|e| e.0);
-            assert!(col.windows(2).all(|w| w[0].0 != w[1].0), "duplicate (user,item) entry");
-        }
-        for row in &mut rows {
-            row.sort_unstable_by_key(|e| e.0);
-        }
-        WtpMatrix { n_users, n_items, cols, rows, total_wtp: total, listed_prices }
+        b.finish()
     }
 
     /// The paper's ratings→WTP map (§6.1.1): a consumer who rated `r` stars
     /// (of `r_max = 5`) an item listed at price `p` is willing to pay
-    /// `(r / r_max) · λ · p`.
+    /// `(r / r_max) · λ · p`. Ratings stream straight into the CSR builder.
     ///
     /// `ratings` yields `(user, item, stars 1..=5)`.
     pub fn from_ratings(
@@ -84,58 +305,247 @@ impl WtpMatrix {
         assert_eq!(prices.len(), n_items, "one listed price per item");
         assert!(lambda >= 1.0, "lambda must be >= 1");
         const R_MAX: f64 = 5.0;
-        let triples: Vec<(u32, u32, f64)> = ratings
-            .into_iter()
-            .map(|(u, i, stars)| {
-                assert!((1..=5).contains(&stars), "stars {stars} out of 1..=5");
-                let w = (stars as f64 / R_MAX) * lambda * prices[i as usize];
-                (u, i, w)
-            })
-            .collect();
-        Self::from_triples(n_users, n_items, triples, Some(prices.to_vec()))
+        let ratings = ratings.into_iter();
+        let mut b = Self::builder(n_users, n_items).with_listed_prices(prices.to_vec());
+        b.reserve(ratings.size_hint().0);
+        for (u, i, stars) in ratings {
+            assert!((1..=5).contains(&stars), "stars {stars} out of 1..=5");
+            b.push(u, i, (stars as f64 / R_MAX) * lambda * prices[i as usize]);
+        }
+        b.finish()
     }
 
-    /// Number of consumers `M`.
+    /// Number of consumers `M` (of the view, if restricted).
     pub fn n_users(&self) -> usize {
-        self.n_users
+        match &self.view {
+            Some(v) => v.user_map.as_ref().map_or(self.store.n_users, Vec::len),
+            None => self.store.n_users,
+        }
     }
 
-    /// Number of items `N`.
+    /// Number of items `N` (of the view, if restricted).
     pub fn n_items(&self) -> usize {
-        self.n_items
+        match &self.view {
+            Some(v) => v.item_map.len(),
+            None => self.store.n_items,
+        }
     }
 
-    /// Non-zero entries of item `i`'s column, sorted by user.
-    pub fn col(&self, item: u32) -> &[(u32, f64)] {
-        &self.cols[item as usize]
+    /// Non-zero entries of item `i`'s column as parallel `(users, wtps)`
+    /// slices, users ascending. Zero-copy into the arena unless the view
+    /// restricts users, in which case the filtered slice is materialized
+    /// once and cached.
+    pub fn col(&self, item: u32) -> SparseSlice<'_> {
+        match &self.view {
+            None => self.store.cols.slice(item as usize),
+            Some(v) => {
+                let arena_item = v.item_map[item as usize] as usize;
+                if v.user_map.is_none() {
+                    return self.store.cols.slice(arena_item);
+                }
+                let (ids, values) = v.lazy_cols[item as usize].get_or_init(|| {
+                    let full = self.store.cols.slice(arena_item);
+                    let mut ids = Vec::new();
+                    let mut vals = Vec::new();
+                    for (u, w) in full.iter() {
+                        let local = v.user_rank[u as usize];
+                        if local != u32::MAX {
+                            ids.push(local);
+                            vals.push(w);
+                        }
+                    }
+                    (ids, vals)
+                });
+                SparseSlice { ids, values }
+            }
+        }
     }
 
-    /// Non-zero entries of user `u`'s row, sorted by item.
-    pub fn row(&self, user: u32) -> &[(u32, f64)] {
-        &self.rows[user as usize]
+    /// Non-zero entries of user `u`'s row as parallel `(items, wtps)`
+    /// slices, items ascending. Zero-copy into the arena unless the view
+    /// restricts items, in which case the filtered slice is materialized
+    /// once and cached.
+    pub fn row(&self, user: u32) -> SparseSlice<'_> {
+        match &self.view {
+            None => self.store.rows.slice(user as usize),
+            Some(v) => {
+                let arena_user = match &v.user_map {
+                    Some(m) => m[user as usize] as usize,
+                    None => user as usize,
+                };
+                if !v.items_restricted {
+                    return self.store.rows.slice(arena_user);
+                }
+                let (ids, values) = v.lazy_rows[user as usize].get_or_init(|| {
+                    let full = self.store.rows.slice(arena_user);
+                    let mut ids = Vec::new();
+                    let mut vals = Vec::new();
+                    for (i, w) in full.iter() {
+                        let local = v.item_rank[i as usize];
+                        if local != u32::MAX {
+                            ids.push(local);
+                            vals.push(w);
+                        }
+                    }
+                    (ids, vals)
+                });
+                SparseSlice { ids, values }
+            }
+        }
     }
 
-    /// Σ of all WTP entries (the coverage denominator).
+    /// Σ of the stored WTP entries (the coverage denominator) — of the
+    /// restriction when this matrix is a view.
     pub fn total_wtp(&self) -> f64 {
-        self.total_wtp
+        match &self.view {
+            Some(v) => v.total_wtp,
+            None => self.store.total_wtp,
+        }
     }
 
     /// Listed price of an item, if the matrix came from ratings data.
     pub fn listed_price(&self, item: u32) -> Option<f64> {
-        self.listed_prices.as_ref().map(|p| p[item as usize])
+        let arena_item = match &self.view {
+            Some(v) => v.item_map[item as usize] as usize,
+            None => item as usize,
+        };
+        self.store.listed_prices.as_ref().map(|p| p[arena_item])
     }
 
     /// A single entry (zero if not stored).
     pub fn get(&self, user: u32, item: u32) -> f64 {
-        self.cols[item as usize]
-            .binary_search_by_key(&user, |e| e.0)
-            .map(|k| self.cols[item as usize][k].1)
-            .unwrap_or(0.0)
+        self.col(item).get(user)
     }
 
-    /// Number of stored (non-zero) entries.
+    /// Number of stored (non-zero) entries. O(1) for the arena, O(N) touch
+    /// of cached columns for a user-restricted view.
     pub fn nnz(&self) -> usize {
-        self.cols.iter().map(Vec::len).sum()
+        match &self.view {
+            None => self.store.cols.indices.len(),
+            Some(_) => (0..self.n_items() as u32).map(|i| self.col(i).len()).sum(),
+        }
+    }
+
+    /// True when this matrix is a restriction of a larger arena.
+    pub fn is_view(&self) -> bool {
+        self.view.is_some()
+    }
+
+    /// Zero-copy restriction to an item subset and/or user subset (arena
+    /// ids of `self`; `None` keeps the axis whole). Ids are remapped
+    /// densely in ascending order of the original ids, so iteration order
+    /// — hence every downstream result — matches a matrix rebuilt from the
+    /// restricted triples bit for bit.
+    ///
+    /// Restricting a view composes: ids are interpreted in the view's
+    /// coordinates and resolved back to the arena.
+    pub fn restrict(&self, items: Option<&[u32]>, users: Option<&[u32]>) -> WtpMatrix {
+        let resolve =
+            |subset: Option<&[u32]>, bound: usize, map: &dyn Fn(u32) -> u32| -> Option<Vec<u32>> {
+                subset.map(|s| {
+                    let mut ids: Vec<u32> = s
+                        .iter()
+                        .map(|&x| {
+                            assert!((x as usize) < bound, "subset id {x} out of range ({bound})");
+                            map(x)
+                        })
+                        .collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    ids
+                })
+            };
+        // Resolve the subset through the current view into arena ids.
+        let (cur_items, cur_users): (Option<&[u32]>, Option<&[u32]>) = match &self.view {
+            Some(v) => (Some(&v.item_map), v.user_map.as_deref()),
+            None => (None, None),
+        };
+        let item_map: Vec<u32> = match resolve(items, self.n_items(), &|x| match cur_items {
+            Some(m) => m[x as usize],
+            None => x,
+        }) {
+            Some(m) => m,
+            None => match cur_items {
+                Some(m) => m.to_vec(),
+                None => (0..self.store.n_items as u32).collect(),
+            },
+        };
+        let user_map: Option<Vec<u32>> =
+            match resolve(users, self.n_users(), &|x| match cur_users {
+                Some(m) => m[x as usize],
+                None => x,
+            }) {
+                Some(m) => Some(m),
+                None => cur_users.map(|m| m.to_vec()),
+            };
+
+        let items_restricted = item_map.len() != self.store.n_items
+            || item_map.iter().enumerate().any(|(k, &i)| k as u32 != i);
+        let mut item_rank = vec![u32::MAX; self.store.n_items];
+        for (local, &arena) in item_map.iter().enumerate() {
+            item_rank[arena as usize] = local as u32;
+        }
+        let mut user_rank = vec![u32::MAX; self.store.n_users];
+        match &user_map {
+            Some(m) => {
+                for (local, &arena) in m.iter().enumerate() {
+                    user_rank[arena as usize] = local as u32;
+                }
+            }
+            None => {
+                for (u, r) in user_rank.iter_mut().enumerate() {
+                    *r = u as u32;
+                }
+            }
+        }
+
+        // Σ WTP inside the restriction, accumulated in (user, item) order —
+        // the exact order `CsrBuilder::finish` sums a matrix rebuilt from
+        // the restricted triples, so the view's total (hence the coverage
+        // metric) is bit-identical to the rebuilt market's, not just close.
+        let mut total = 0.0;
+        let mut add_row = |arena_user: usize| {
+            let full = self.store.rows.slice(arena_user);
+            if items_restricted {
+                for (i, w) in full.iter() {
+                    if item_rank[i as usize] != u32::MAX {
+                        total += w;
+                    }
+                }
+            } else {
+                for &w in full.values {
+                    total += w;
+                }
+            }
+        };
+        match &user_map {
+            Some(m) => m.iter().for_each(|&u| add_row(u as usize)),
+            None => (0..self.store.n_users).for_each(&mut add_row),
+        }
+
+        let n_local_items = item_map.len();
+        let n_local_users = user_map.as_ref().map_or(self.store.n_users, Vec::len);
+        WtpMatrix {
+            store: Arc::clone(&self.store),
+            view: Some(Arc::new(ViewState {
+                lazy_cols: if user_map.is_some() {
+                    (0..n_local_items).map(|_| OnceLock::new()).collect()
+                } else {
+                    Vec::new()
+                },
+                lazy_rows: if items_restricted {
+                    (0..n_local_users).map(|_| OnceLock::new()).collect()
+                } else {
+                    Vec::new()
+                },
+                item_map,
+                user_map,
+                user_rank,
+                item_rank,
+                items_restricted,
+                total_wtp: total,
+            })),
+        }
     }
 }
 
@@ -153,7 +563,10 @@ mod tests {
         assert_eq!(w.total_wtp(), 42.0);
         assert_eq!(w.nnz(), 6);
         assert_eq!(w.col(0).len(), 3);
-        assert_eq!(w.row(1), &[(0, 8.0), (1, 2.0)]);
+        assert_eq!(w.row(1).ids, &[0, 1]);
+        assert_eq!(w.row(1).values, &[8.0, 2.0]);
+        let pairs: Vec<(u32, f64)> = w.row(1).iter().collect();
+        assert_eq!(pairs, vec![(0, 8.0), (1, 2.0)]);
     }
 
     #[test]
@@ -184,6 +597,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "duplicate (user, item) entry: user 3, item 7")]
+    fn duplicate_panic_names_the_pair() {
+        let mut b = WtpMatrix::builder(5, 9);
+        b.push(3, 7, 1.0);
+        b.push(2, 7, 1.0);
+        b.push(3, 7, 2.5);
+        b.finish();
+    }
+
+    #[test]
     #[should_panic(expected = "ragged")]
     fn rejects_ragged_rows() {
         WtpMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
@@ -194,5 +617,137 @@ mod tests {
         let w = WtpMatrix::from_rows(vec![]);
         assert_eq!(w.n_users(), 0);
         assert_eq!(w.total_wtp(), 0.0);
+    }
+
+    #[test]
+    fn builder_order_does_not_matter() {
+        let a = WtpMatrix::from_triples(
+            3,
+            2,
+            vec![(2, 1, 5.0), (0, 0, 1.0), (1, 1, 2.0), (0, 1, 3.0)],
+            None,
+        );
+        let b = WtpMatrix::from_triples(
+            3,
+            2,
+            vec![(0, 0, 1.0), (0, 1, 3.0), (1, 1, 2.0), (2, 1, 5.0)],
+            None,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.col(1).ids, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn restrict_items_is_zero_copy_on_columns() {
+        let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0, 7.0], vec![8.0, 2.0, 0.0]]);
+        let v = w.restrict(Some(&[2, 0]), None);
+        assert_eq!(v.n_items(), 2);
+        assert_eq!(v.n_users(), 2);
+        // Local item 0 = arena item 0, local item 1 = arena item 2 (sorted).
+        assert_eq!(v.col(0).values, w.col(0).values);
+        assert_eq!(v.col(1).values, w.col(2).values);
+        assert_eq!(v.total_wtp(), 12.0 + 8.0 + 7.0);
+        // Rows are remapped to local item ids.
+        assert_eq!(v.row(0).ids, &[0, 1]);
+        assert_eq!(v.row(0).values, &[12.0, 7.0]);
+        assert_eq!(v.row(1).ids, &[0]);
+    }
+
+    #[test]
+    fn restrict_users_remaps_columns() {
+        let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
+        let v = w.restrict(None, Some(&[2, 0]));
+        assert_eq!(v.n_users(), 2);
+        assert_eq!(v.col(0).ids, &[0, 1]); // local ids for arena users 0, 2
+        assert_eq!(v.col(0).values, &[12.0, 5.0]);
+        assert_eq!(v.row(1).values, &[5.0, 11.0]); // local user 1 = arena 2
+        assert_eq!(v.total_wtp(), 32.0);
+        assert_eq!(v.nnz(), 4);
+        assert!(v.is_view());
+    }
+
+    #[test]
+    fn restrict_composes() {
+        let w = WtpMatrix::from_rows(vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
+        let v1 = w.restrict(Some(&[1, 2]), Some(&[0, 2]));
+        // v1 local item 1 = arena item 2; v1 local user 1 = arena user 2.
+        let v2 = v1.restrict(Some(&[1]), Some(&[1]));
+        assert_eq!(v2.n_items(), 1);
+        assert_eq!(v2.n_users(), 1);
+        assert_eq!(v2.get(0, 0), 9.0);
+        assert_eq!(v2.total_wtp(), 9.0);
+    }
+
+    #[test]
+    fn view_equals_rebuilt_matrix() {
+        let w = WtpMatrix::from_rows(vec![
+            vec![1.0, 0.0, 3.0, 4.0],
+            vec![0.0, 5.0, 6.0, 0.0],
+            vec![7.0, 8.0, 0.0, 9.0],
+        ]);
+        let v = w.restrict(Some(&[0, 2, 3]), Some(&[0, 2]));
+        let rebuilt = WtpMatrix::from_rows(vec![vec![1.0, 3.0, 4.0], vec![7.0, 0.0, 9.0]]);
+        assert_eq!(v, rebuilt);
+        assert_eq!(v.total_wtp(), rebuilt.total_wtp());
+    }
+
+    #[test]
+    fn view_total_wtp_bit_identical_to_rebuild() {
+        // Non-dyadic ratings-derived values (λ·stars/5·$x.99): any
+        // accumulation-order difference between the view's total and the
+        // builder's shows up as 1-ulp drift. The view must sum in the
+        // builder's (user, item) order exactly.
+        let ratings: Vec<(u32, u32, u8)> = (0..6u32)
+            .flat_map(|u| {
+                (0..4u32)
+                    .filter(move |i| (u + i) % 3 != 0)
+                    .map(move |i| (u, i, ((u + i) % 5 + 1) as u8))
+            })
+            .collect();
+        let prices = [9.99, 14.99, 3.33, 7.77];
+        let w = WtpMatrix::from_ratings(6, 4, ratings.clone(), &prices, 1.1);
+        let v = w.restrict(Some(&[1, 3]), Some(&[0, 2, 5]));
+        let rebuilt = WtpMatrix::from_ratings(
+            3,
+            2,
+            ratings.iter().filter_map(|&(u, i, s)| {
+                let lu = [0u32, 2, 5].iter().position(|&x| x == u)?;
+                let li = [1u32, 3].iter().position(|&x| x == i)?;
+                Some((lu as u32, li as u32, s))
+            }),
+            &[14.99, 7.77],
+            1.1,
+        );
+        assert_eq!(v.total_wtp().to_bits(), rebuilt.total_wtp().to_bits());
+        assert_eq!(v, rebuilt);
+    }
+
+    #[test]
+    fn equality_includes_listed_prices() {
+        let triples = vec![(0u32, 0u32, 5.0)];
+        let plain = WtpMatrix::from_triples(1, 1, triples.clone(), None);
+        let priced = WtpMatrix::from_triples(1, 1, triples.clone(), Some(vec![9.99]));
+        let repriced = WtpMatrix::from_triples(1, 1, triples, Some(vec![4.99]));
+        assert_ne!(plain, priced);
+        assert_ne!(priced, repriced);
+        assert_eq!(priced.clone(), priced);
+    }
+
+    #[test]
+    fn view_listed_prices_remap() {
+        let w = WtpMatrix::from_ratings(
+            2,
+            3,
+            vec![(0u32, 0u32, 5u8), (0, 1, 4), (1, 2, 3)],
+            &[10.0, 20.0, 30.0],
+            1.25,
+        );
+        let v = w.restrict(Some(&[2, 1]), None);
+        assert_eq!(v.listed_price(0), Some(20.0));
+        assert_eq!(v.listed_price(1), Some(30.0));
     }
 }

@@ -1,0 +1,157 @@
+//! Property tests for the dual-CSR storage layer (`DESIGN.md` §7):
+//!
+//! 1. Both CSR orientations (row and column views) agree entry-for-entry
+//!    with a dense reference matrix, whatever order the triples arrive in.
+//! 2. Any [`MarketView`] — item subset, user subset, or both — answers
+//!    every solve **bit-identically** to a `Market` built from scratch on
+//!    the restricted triples: same revenue, same prices, same bundles,
+//!    for every configurator in the registry.
+
+use proptest::prelude::*;
+use revmax_core::algorithms::registry;
+use revmax_core::market::Market;
+use revmax_core::params::{Params, Threads};
+use revmax_core::wtp::WtpMatrix;
+
+/// A random dense WTP matrix (entries 0 with ~40% probability) plus θ.
+fn arb_dense() -> impl Strategy<Value = (Vec<Vec<f64>>, f64)> {
+    // ~3/8 of cells are zero, the rest positive quarter-dollar amounts.
+    fn cell() -> impl Strategy<Value = f64> {
+        (0u32..80u32).prop_map(|raw| if raw < 30 { 0.0 } else { raw as f64 * 0.25 })
+    }
+    let dims = (1usize..7, 1usize..7);
+    dims.prop_flat_map(move |(m, n)| {
+        (proptest::collection::vec(proptest::collection::vec(cell(), n..=n), m..=m), -20i32..=20)
+            .prop_map(|(rows, theta)| (rows, theta as f64 / 100.0))
+    })
+}
+
+/// Dense → sorted nonzero triples.
+fn triples_of(dense: &[Vec<f64>]) -> Vec<(u32, u32, f64)> {
+    let mut t = Vec::new();
+    for (u, row) in dense.iter().enumerate() {
+        for (i, &w) in row.iter().enumerate() {
+            if w > 0.0 {
+                t.push((u as u32, i as u32, w));
+            }
+        }
+    }
+    t
+}
+
+/// Canonical bit-exact serialization of an outcome (prices, revenues,
+/// bundle structure) for cross-checking two solves.
+fn canon(o: &revmax_core::config::Outcome) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    write!(s, "{}|{:016x}|{:016x}|", o.algorithm, o.revenue.to_bits(), o.gain.to_bits()).unwrap();
+    fn node(n: &revmax_core::config::OfferNode, out: &mut String) {
+        use std::fmt::Write as _;
+        write!(out, "[{:?}@{:016x}", n.bundle.items(), n.price.to_bits()).unwrap();
+        for c in &n.children {
+            node(c, out);
+        }
+        out.push(']');
+    }
+    for r in &o.config.roots {
+        node(r, &mut s);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn csr_orientations_agree_with_dense_reference((dense, _) in arb_dense(), seed in 0u64..1000) {
+        // Shuffle the triples deterministically: the builder must not care
+        // about arrival order.
+        let mut triples = triples_of(&dense);
+        let k = triples.len();
+        for idx in 0..k {
+            let j = (seed as usize).wrapping_mul(31).wrapping_add(idx * 7) % k;
+            triples.swap(idx, j);
+        }
+        let (m, n) = (dense.len(), dense[0].len());
+        let w = WtpMatrix::from_triples(m, n, triples, None);
+
+        // Entry-wise agreement through both orientations.
+        for (u, row) in dense.iter().enumerate() {
+            for (i, &want) in row.iter().enumerate() {
+                prop_assert_eq!(w.get(u as u32, i as u32), want);
+                prop_assert_eq!(w.row(u as u32).get(i as u32), want);
+            }
+        }
+        // Row/col slices are sorted, consistent, and cover exactly nnz.
+        let mut nnz = 0usize;
+        for i in 0..n as u32 {
+            let col = w.col(i);
+            prop_assert!(col.ids.windows(2).all(|p| p[0] < p[1]), "col ids not ascending");
+            for (u, val) in col.iter() {
+                prop_assert_eq!(val, dense[u as usize][i as usize]);
+            }
+            nnz += col.len();
+        }
+        prop_assert_eq!(nnz, w.nnz());
+        let mut row_nnz = 0usize;
+        for u in 0..m as u32 {
+            let row = w.row(u);
+            prop_assert!(row.ids.windows(2).all(|p| p[0] < p[1]), "row ids not ascending");
+            row_nnz += row.len();
+        }
+        prop_assert_eq!(row_nnz, w.nnz());
+    }
+
+    #[test]
+    fn market_view_solves_equal_from_scratch_markets(
+        (dense, theta) in arb_dense(),
+        item_mask in 1u32..64,
+        user_mask in 1u32..64,
+    ) {
+        let (m, n) = (dense.len(), dense[0].len());
+        // Non-empty subsets carved from the masks.
+        let mut items: Vec<u32> =
+            (0..n as u32).filter(|i| item_mask & (1 << (i % 6)) != 0).collect();
+        let mut users: Vec<u32> =
+            (0..m as u32).filter(|u| user_mask & (1 << (u % 6)) != 0).collect();
+        if items.is_empty() {
+            items.push(0);
+        }
+        if users.is_empty() {
+            users.push(0);
+        }
+
+        let params = Params::default().with_theta(theta).with_threads(Threads::Fixed(1));
+        let whole = Market::new(
+            WtpMatrix::from_triples(m, n, triples_of(&dense), None),
+            params,
+        );
+        let view = whole.view(Some(&items), Some(&users));
+
+        // From-scratch market over the restricted triples with remapped ids.
+        let restricted: Vec<(u32, u32, f64)> = triples_of(&dense)
+            .into_iter()
+            .filter_map(|(u, i, w)| {
+                let lu = users.iter().position(|&x| x == u)?;
+                let li = items.iter().position(|&x| x == i)?;
+                Some((lu as u32, li as u32, w))
+            })
+            .collect();
+        let scratch_market = Market::new(
+            WtpMatrix::from_triples(users.len(), items.len(), restricted, None),
+            params,
+        );
+
+        prop_assert_eq!(view.total_wtp().to_bits(), scratch_market.total_wtp().to_bits());
+        for (name, c) in registry() {
+            let via_view = c.run(&view);
+            let via_scratch = c.run(&scratch_market);
+            prop_assert_eq!(
+                canon(&via_view),
+                canon(&via_scratch),
+                "{} diverged between view and from-scratch market",
+                name
+            );
+        }
+    }
+}

@@ -59,6 +59,13 @@ impl RatingsData {
         &self.ratings
     }
 
+    /// Ratings as `(user, item, stars)` triples, sorted by (user, item):
+    /// the exact-size stream `WtpMatrix::from_ratings` feeds straight into
+    /// its CSR builder.
+    pub fn triples(&self) -> impl ExactSizeIterator<Item = (u32, u32, u8)> + '_ {
+        self.ratings.iter().map(|r| (r.user, r.item, r.stars))
+    }
+
     /// Listed price of each item.
     pub fn prices(&self) -> &[f64] {
         &self.prices

@@ -59,14 +59,24 @@ pub fn trim(n_users: usize, n_items: usize, ratings: &[Rating], min_degree: usiz
     }
     let kept_users: Vec<u32> = (0..n_users as u32).filter(|&u| user_alive[u as usize]).collect();
     let kept_items: Vec<u32> = (0..n_items as u32).filter(|&i| item_alive[i as usize]).collect();
-    let user_map: std::collections::HashMap<u32, u32> =
-        kept_users.iter().enumerate().map(|(new, &old)| (old, new as u32)).collect();
-    let item_map: std::collections::HashMap<u32, u32> =
-        kept_items.iter().enumerate().map(|(new, &old)| (old, new as u32)).collect();
+    // Flat old-id → new-id rank vectors (the same dense-remap idiom the CSR
+    // views use): one indexed load per surviving rating, no hashing.
+    let mut user_map = vec![u32::MAX; n_users];
+    for (new, &old) in kept_users.iter().enumerate() {
+        user_map[old as usize] = new as u32;
+    }
+    let mut item_map = vec![u32::MAX; n_items];
+    for (new, &old) in kept_items.iter().enumerate() {
+        item_map[old as usize] = new as u32;
+    }
     let ratings = ratings
         .iter()
         .filter(|r| user_alive[r.user as usize] && item_alive[r.item as usize])
-        .map(|r| Rating { user: user_map[&r.user], item: item_map[&r.item], stars: r.stars })
+        .map(|r| Rating {
+            user: user_map[r.user as usize],
+            item: item_map[r.item as usize],
+            stars: r.stars,
+        })
         .collect();
     KcoreResult { ratings, kept_users, kept_items }
 }

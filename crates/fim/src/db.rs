@@ -26,6 +26,22 @@ impl TransactionDb {
         TransactionDb { n_items, n_transactions, bitmaps }
     }
 
+    /// Build directly from per-item transaction bitmaps (the vertical
+    /// layout itself) — the zero-intermediate path used when the caller
+    /// already holds columnar data, e.g. the CSR item columns of a WTP
+    /// matrix. All bitmaps must span `n_transactions` slots.
+    pub fn from_item_bitmaps(n_transactions: usize, bitmaps: Vec<Bitmap>) -> Self {
+        for (i, bm) in bitmaps.iter().enumerate() {
+            assert_eq!(
+                bm.len(),
+                n_transactions,
+                "item {i} bitmap spans {} transactions, expected {n_transactions}",
+                bm.len()
+            );
+        }
+        TransactionDb { n_items: bitmaps.len(), n_transactions, bitmaps }
+    }
+
     /// Number of items in the universe.
     pub fn n_items(&self) -> usize {
         self.n_items
@@ -96,6 +112,25 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_item() {
         TransactionDb::from_transactions(2, &[vec![2]]);
+    }
+
+    #[test]
+    fn from_item_bitmaps_equals_horizontal_build() {
+        let horizontal = sample();
+        let bitmaps: Vec<Bitmap> = (0..4u32).map(|i| horizontal.item_bitmap(i).clone()).collect();
+        let vertical = TransactionDb::from_item_bitmaps(5, bitmaps);
+        assert_eq!(vertical.n_items(), 4);
+        assert_eq!(vertical.n_transactions(), 5);
+        for i in 0..4u32 {
+            assert_eq!(vertical.item_support(i), horizontal.item_support(i));
+        }
+        assert_eq!(vertical.support(&[0, 1, 2]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 5")]
+    fn from_item_bitmaps_rejects_length_mismatch() {
+        TransactionDb::from_item_bitmaps(5, vec![Bitmap::zeros(4)]);
     }
 
     #[test]

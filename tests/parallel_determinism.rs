@@ -52,17 +52,10 @@ fn canon_outcome(o: &Outcome) -> String {
     s
 }
 
-/// The seven comparative methods of §6.2.
+/// The seven comparative methods of §6.2, from the single authoritative
+/// list in `revmax_core::algorithms::registry`.
 fn all_configurators() -> Vec<Box<dyn Configurator>> {
-    vec![
-        Box::new(Components::optimal()),
-        Box::new(PureMatching::default()),
-        Box::new(PureGreedy::default()),
-        Box::new(MixedMatching::default()),
-        Box::new(MixedGreedy::default()),
-        Box::new(PureFreqItemset::default()),
-        Box::new(MixedFreqItemset::default()),
-    ]
+    registry().into_iter().map(|(_, c)| c).collect()
 }
 
 /// Synthetic ratings market at unit-test scale, per seed and thread count.
@@ -72,7 +65,7 @@ fn generated_market(seed: u64, threads: usize) -> Market {
     let wtp = WtpMatrix::from_ratings(
         data.n_users(),
         data.n_items(),
-        data.ratings().iter().map(|r| (r.user, r.item, r.stars)),
+        data.triples(),
         data.prices(),
         params.lambda,
     );
@@ -166,7 +159,7 @@ fn env_var_default_does_not_change_results() {
         let wtp = WtpMatrix::from_ratings(
             data.n_users(),
             data.n_items(),
-            data.ratings().iter().map(|r| (r.user, r.item, r.stars)),
+            data.triples(),
             data.prices(),
             params.lambda,
         );

@@ -8,9 +8,99 @@
 //! mean / min / max per iteration. No statistical analysis, HTML reports,
 //! or baseline comparison; enough for `cargo bench` to compile, run, and
 //! print usable numbers.
+//!
+//! When the `BENCH_JSON` environment variable names a file, every
+//! benchmark's estimates are additionally appended to that file as a JSON
+//! array (`[{"id", "mean_ns", "min_ns", "max_ns", "iters"}, …]`, rewritten
+//! after each benchmark so a partial run still leaves valid JSON) — the
+//! machine-readable summary the `BENCH_*.json` trajectory files record.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One exported benchmark estimate (see `BENCH_JSON`).
+struct JsonEntry {
+    id: String,
+    mean_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    iters: u64,
+}
+
+/// Estimates accumulated for the `BENCH_JSON` export. Process-global, but
+/// `cargo bench` runs each bench *binary* as its own process against the
+/// same file, so every write merges with what previous binaries left
+/// behind (same-id entries are superseded) instead of truncating it.
+static JSON_ENTRIES: Mutex<Vec<JsonEntry>> = Mutex::new(Vec::new());
+
+/// Serialize entries as a JSON array (one object per benchmark).
+fn render_json(entries: &[JsonEntry]) -> String {
+    let mut out = String::from("[\n");
+    for (k, e) in entries.iter().enumerate() {
+        if k > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"iters\": {}}}",
+            e.id, e.mean_ns, e.min_ns, e.max_ns, e.iters
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Parse entries previously written by [`render_json`] (best effort: only
+/// the exact format this module emits; anything else is dropped).
+fn parse_json(body: &str) -> Vec<JsonEntry> {
+    let field = |line: &str, key: &str| -> Option<u128> {
+        let tail = &line[line.find(key)? + key.len()..];
+        let digits: String = tail
+            .chars()
+            .skip_while(|c| !c.is_ascii_digit())
+            .take_while(char::is_ascii_digit)
+            .collect();
+        digits.parse().ok()
+    };
+    body.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            let id = line.strip_prefix("{\"id\": \"")?.split('"').next()?.to_string();
+            Some(JsonEntry {
+                id,
+                mean_ns: field(line, "\"mean_ns\"")?,
+                min_ns: field(line, "\"min_ns\"")?,
+                max_ns: field(line, "\"max_ns\"")?,
+                iters: field(line, "\"iters\"")? as u64,
+            })
+        })
+        .collect()
+}
+
+fn export_json(label: &str, s: Sample) {
+    let Ok(path) = std::env::var("BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let mut entries = JSON_ENTRIES.lock().expect("bench json registry poisoned");
+    if entries.is_empty() {
+        // First export of this process: adopt earlier binaries' entries.
+        if let Ok(existing) = std::fs::read_to_string(&path) {
+            *entries = parse_json(&existing);
+        }
+    }
+    entries.retain(|e| e.id != label);
+    entries.push(JsonEntry {
+        id: label.to_string(),
+        mean_ns: s.mean.as_nanos(),
+        min_ns: s.min.as_nanos(),
+        max_ns: s.max.as_nanos(),
+        iters: s.iters_total,
+    });
+    if let Err(e) = std::fs::write(&path, render_json(&entries)) {
+        eprintln!("BENCH_JSON: failed to write {path}: {e}");
+    }
+}
 
 /// Re-export of `std::hint::black_box` under criterion's historic name.
 pub fn black_box<T>(x: T) -> T {
@@ -200,13 +290,16 @@ fn run_one<F: FnMut(&mut Bencher)>(
     let mut bencher = Bencher { samples, measurement_time, result: &mut result };
     f(&mut bencher);
     match result {
-        Some(s) => println!(
-            "{label:<48} time: [{} {} {}]  ({} iters)",
-            fmt_duration(s.min),
-            fmt_duration(s.mean),
-            fmt_duration(s.max),
-            s.iters_total
-        ),
+        Some(s) => {
+            println!(
+                "{label:<48} time: [{} {} {}]  ({} iters)",
+                fmt_duration(s.min),
+                fmt_duration(s.mean),
+                fmt_duration(s.max),
+                s.iters_total
+            );
+            export_json(&label, s);
+        }
         None => println!("{label:<48} (no measurement: closure never called iter)"),
     }
 }
@@ -256,6 +349,49 @@ mod tests {
             b.iter(|| black_box(1u64 + 1));
         });
         assert!(ran);
+    }
+
+    #[test]
+    fn json_render_produces_valid_entries() {
+        // The renderer is tested directly (mutating BENCH_JSON from a test
+        // would race concurrently-running benchmarks reading it).
+        let entries = vec![
+            JsonEntry { id: "g/a".into(), mean_ns: 120, min_ns: 100, max_ns: 150, iters: 4 },
+            JsonEntry { id: "g/b".into(), mean_ns: 9, min_ns: 8, max_ns: 11, iters: 2 },
+        ];
+        let body = render_json(&entries);
+        assert!(body.trim_start().starts_with('['), "not a JSON array: {body}");
+        assert!(body.trim_end().ends_with(']'), "unterminated array: {body}");
+        assert!(body.contains(
+            "{\"id\": \"g/a\", \"mean_ns\": 120, \"min_ns\": 100, \"max_ns\": 150, \"iters\": 4}"
+        ));
+        assert_eq!(body.matches("\"id\"").count(), 2);
+    }
+
+    #[test]
+    fn json_parse_round_trips_render() {
+        // The merge path (a later bench binary adopting an earlier one's
+        // file) depends on parse ∘ render being the identity.
+        let entries = vec![
+            JsonEntry {
+                id: "p/x/1000".into(),
+                mean_ns: 19532,
+                min_ns: 18769,
+                max_ns: 22851,
+                iters: 20940,
+            },
+            JsonEntry { id: "e/y".into(), mean_ns: 5, min_ns: 4, max_ns: 7, iters: 1 },
+        ];
+        let parsed = parse_json(&render_json(&entries));
+        assert_eq!(parsed.len(), 2);
+        for (a, b) in entries.iter().zip(&parsed) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.mean_ns, b.mean_ns);
+            assert_eq!(a.min_ns, b.min_ns);
+            assert_eq!(a.max_ns, b.max_ns);
+            assert_eq!(a.iters, b.iters);
+        }
+        assert!(parse_json("not json at all").is_empty());
     }
 
     #[test]
