@@ -1,0 +1,261 @@
+//! Perf-smoke gate: compare a fresh `BENCH_JSON` export (from the `sweep`
+//! binary or `cargo bench`) against a committed baseline and fail on
+//! regressions — the comparison half of the CI `perf-smoke` leg, shipped
+//! as a binary (gen_check-style) so it runs locally too.
+//!
+//! ```sh
+//! perf_check baseline=BENCH_pr3.json current=sweep_ci.json \
+//!            map=sweep_small/theta0/:endtoend_small/ \
+//!            calibrate=median threshold=1.25 min_matches=5
+//! ```
+//!
+//! `map=CUR_PREFIX:BASE_PREFIX` (CSV of pairs) rewrites current-file id
+//! prefixes before matching, so sweep ids (`sweep_small/theta0/<method>`)
+//! line up against criterion ids (`endtoend_small/<method>`). Keep the
+//! trailing slashes: `theta0` without one also rewrites `theta0.05/...`
+//! ids into names no baseline holds, silently shrinking the comparison.
+//! Ids present in only one file are reported and skipped; `min_matches`
+//! (default 1) guards against a silently empty comparison.
+//!
+//! Two knobs make the gate robust on noisy shared hosts (both are the CI
+//! settings):
+//!
+//! * `stat=min` compares the best observed repetition instead of the
+//!   mean (`stat=mean`, the default): scheduler-preemption spikes inflate
+//!   means by milliseconds on a busy box, while the minimum approximates
+//!   the true cost of the code.
+//! * `calibrate=median` divides every ratio by the median ratio before
+//!   applying `threshold`: the committed baseline was measured on a
+//!   different machine (or a different day of the same shared host), and
+//!   a uniform speed difference shifts all ratios together — the median
+//!   cancels it, while a *single* configurator regressing still stands
+//!   out. A genuinely global slowdown is caught by `abs_cap` (default
+//!   4.0): the gate fails when the median ratio itself exceeds it.
+//!   `calibrate=off` compares raw ratios (same-machine baselines).
+//!
+//! Exit codes: 0 ok, 1 regression (calibrated ratio above `threshold`,
+//! default 1.25 = +25% solve time, or median above `abs_cap`), 2
+//! usage/matching error.
+
+use revmax_engine::report::{parse_bench_json, BenchEntry};
+
+struct Args {
+    baseline: String,
+    current: String,
+    maps: Vec<(String, String)>,
+    threshold: f64,
+    min_matches: usize,
+    calibrate: bool,
+    abs_cap: f64,
+    use_min: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        baseline: String::new(),
+        current: String::new(),
+        maps: Vec::new(),
+        threshold: 1.25,
+        min_matches: 1,
+        calibrate: false,
+        abs_cap: 4.0,
+        use_min: false,
+    };
+    for arg in std::env::args().skip(1) {
+        if arg == "--help" || arg == "-h" {
+            eprintln!(
+                "usage: perf_check baseline=FILE current=FILE [map=CUR:BASE,...] \
+                 [stat=mean|min] [calibrate=off|median] [threshold=1.25] [abs_cap=4.0] \
+                 [min_matches=1]"
+            );
+            std::process::exit(0);
+        }
+        let (key, value) = arg
+            .split_once('=')
+            .unwrap_or_else(|| fail(&format!("expected key=value, got '{arg}'")));
+        match key {
+            "baseline" => args.baseline = value.into(),
+            "current" => args.current = value.into(),
+            "map" => {
+                for pair in value.split(',').filter(|s| !s.is_empty()) {
+                    let (cur, base) = pair
+                        .split_once(':')
+                        .unwrap_or_else(|| fail(&format!("map '{pair}' is not CUR:BASE")));
+                    args.maps.push((cur.into(), base.into()));
+                }
+            }
+            "calibrate" => {
+                args.calibrate = match value {
+                    "median" => true,
+                    "off" => false,
+                    other => fail(&format!("calibrate '{other}' (expected off|median)")),
+                };
+            }
+            "stat" => {
+                args.use_min = match value {
+                    "min" => true,
+                    "mean" => false,
+                    other => fail(&format!("stat '{other}' (expected mean|min)")),
+                };
+            }
+            "threshold" => {
+                args.threshold =
+                    value.parse().unwrap_or_else(|_| fail(&format!("bad threshold '{value}'")));
+                if args.threshold <= 0.0 {
+                    fail("threshold must be positive");
+                }
+            }
+            "abs_cap" => {
+                args.abs_cap =
+                    value.parse().unwrap_or_else(|_| fail(&format!("bad abs_cap '{value}'")));
+                if args.abs_cap <= 0.0 {
+                    fail("abs_cap must be positive");
+                }
+            }
+            "min_matches" => {
+                args.min_matches =
+                    value.parse().unwrap_or_else(|_| fail(&format!("bad min_matches '{value}'")));
+                if args.min_matches == 0 {
+                    fail("min_matches must be >= 1 (an empty comparison gates nothing)");
+                }
+            }
+            other => fail(&format!("unknown key '{other}'")),
+        }
+    }
+    if args.baseline.is_empty() || args.current.is_empty() {
+        fail("both baseline= and current= are required");
+    }
+    args
+}
+
+fn load(path: &str) -> Vec<BenchEntry> {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read '{path}': {e}")));
+    let entries = parse_bench_json(&body);
+    if entries.is_empty() {
+        fail(&format!("'{path}' holds no BENCH_JSON entries"));
+    }
+    entries
+}
+
+/// Rewrite a current-file id through the prefix maps (first match wins).
+fn mapped_id(id: &str, maps: &[(String, String)]) -> String {
+    for (cur, base) in maps {
+        if let Some(rest) = id.strip_prefix(cur.as_str()) {
+            return format!("{base}{rest}");
+        }
+    }
+    id.to_string()
+}
+
+fn main() {
+    let args = parse_args();
+    let baseline = load(&args.baseline);
+    let current = load(&args.current);
+
+    // Pass 1: match ids and collect raw ratios of the chosen statistic.
+    let stat = |e: &BenchEntry| if args.use_min { e.min_ns } else { e.mean_ns };
+    let mut rows: Vec<(String, u128, u128, f64)> = Vec::new(); // (id, base, cur, ratio)
+    let mut skipped: Vec<String> = Vec::new();
+    for cur in &current {
+        let id = mapped_id(&cur.id, &args.maps);
+        match baseline.iter().find(|b| b.id == id) {
+            Some(base) => {
+                let ratio = stat(cur) as f64 / stat(base).max(1) as f64;
+                rows.push((id, stat(base), stat(cur), ratio));
+            }
+            None => skipped.push(id),
+        }
+    }
+    if rows.len() < args.min_matches {
+        fail(&format!(
+            "only {} id(s) matched the baseline (need {})",
+            rows.len(),
+            args.min_matches
+        ));
+    }
+
+    // Machine-speed calibration: the median raw ratio estimates the
+    // uniform host-speed shift between the two measurements (even counts
+    // average the middle pair — taking the upper-middle element would
+    // bias the gate lenient exactly when half the ids regressed).
+    let median = {
+        let mut sorted: Vec<f64> = rows.iter().map(|r| r.3).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    };
+    let scale = if args.calibrate { median } else { 1.0 };
+
+    let mut regressions: Vec<String> = Vec::new();
+    println!(
+        "{:<44} {:>12} {:>12} {:>8} {:>8}  verdict (threshold {:.2}x{}, stat {})",
+        "id (baseline)",
+        "base ns",
+        "current ns",
+        "ratio",
+        "calibr.",
+        args.threshold,
+        if args.calibrate { ", median-calibrated" } else { "" },
+        if args.use_min { "min" } else { "mean" }
+    );
+    for (id, base_ns, cur_ns, ratio) in &rows {
+        let calibrated = ratio / scale;
+        let verdict = if calibrated > args.threshold { "REGRESSED" } else { "ok" };
+        println!("{id:<44} {base_ns:>12} {cur_ns:>12} {ratio:>7.2}x {calibrated:>7.2}x  {verdict}");
+        if calibrated > args.threshold {
+            regressions.push(format!("{id}: {calibrated:.2}x (>{:.2}x)", args.threshold));
+        }
+    }
+    for id in &skipped {
+        println!(
+            "{id:<44} {:>12} {:>12} {:>8} {:>8}  (no baseline entry; skipped)",
+            "-", "-", "-", "-"
+        );
+    }
+    // Baseline ids the current export never produced: a shrinking
+    // comparison must be visible, not silent.
+    let compared: Vec<&String> = rows.iter().map(|r| &r.0).collect();
+    for base in &baseline {
+        if !compared.contains(&&base.id) {
+            println!(
+                "{:<44} {:>12} {:>12} {:>8} {:>8}  (no current entry; skipped)",
+                base.id, base.mean_ns, "-", "-", "-"
+            );
+        }
+    }
+    if args.calibrate {
+        println!("median host-speed ratio: {median:.2}x (abs_cap {:.2}x)", args.abs_cap);
+        if median > args.abs_cap {
+            eprintln!(
+                "perf_check: median ratio {median:.2}x exceeds abs_cap {:.2}x — global regression \
+                 (or a baseline from a machine too different to compare)",
+                args.abs_cap
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "perf_check: {} id(s) compared, no regression above {:.2}x",
+            rows.len(),
+            args.threshold
+        );
+    } else {
+        eprintln!("perf_check: {} regression(s):", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("perf_check: {msg}");
+    std::process::exit(2);
+}

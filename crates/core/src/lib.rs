@@ -69,6 +69,7 @@ pub mod adoption;
 pub mod algorithms;
 pub mod bundle;
 pub mod config;
+pub mod fingerprint;
 pub mod market;
 pub mod metrics;
 pub mod mixed;

@@ -75,6 +75,25 @@ impl Market {
         Scratch::new(self.n_users())
     }
 
+    /// Stable 64-bit fingerprint of everything a solve on this market
+    /// depends on: the WTP content (including any view restriction —
+    /// [`crate::wtp::WtpMatrix::fingerprint`]), the solve-relevant
+    /// [`Params`] ([`Params::fingerprint`]; the thread knob is excluded),
+    /// and the price-search mode. Two markets with equal fingerprints
+    /// produce bit-identical solves for any configurator, which is the
+    /// invariant the sweep engine's solve cache relies on (`DESIGN.md`
+    /// §8). Accessible on a [`MarketView`] through deref.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = crate::fingerprint::Fingerprinter::new("market");
+        fp.write_u64(self.wtp.fingerprint());
+        fp.write_u64(self.params.fingerprint());
+        fp.write_u32(match self.pricing.mode {
+            PriceMode::Exact => 0,
+            PriceMode::Grid => 1,
+        });
+        fp.finish()
+    }
+
     /// Per-user raw WTP sums over `items` (only users with a positive sum),
     /// sorted by user id. A scatter loop over the contiguous CSR column
     /// slices: O(Σ nnz of the item columns + sort of the touched set).
@@ -445,6 +464,42 @@ mod tests {
         for v in &views {
             assert_eq!(v.threads(), m.threads());
         }
+    }
+
+    #[test]
+    fn market_fingerprint_tracks_wtp_params_and_mode() {
+        let m = table1();
+        assert_eq!(m.fingerprint(), table1().fingerprint());
+        // Each ingredient moves the digest: WTP content, params, mode.
+        let other_wtp = Market::new(
+            WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.5]]),
+            Params::default().with_theta(-0.05),
+        );
+        assert_ne!(m.fingerprint(), other_wtp.fingerprint());
+        let other_theta = Market::new(
+            WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]),
+            Params::default().with_theta(-0.10),
+        );
+        assert_ne!(m.fingerprint(), other_theta.fingerprint());
+        assert_ne!(m.fingerprint(), table1().with_grid_pricing().fingerprint());
+        // Thread resolution stays outside the digest (DESIGN.md §6).
+        let threaded = Market::new(
+            WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]),
+            Params::default().with_theta(-0.05).with_threads(crate::params::Threads::Fixed(7)),
+        );
+        assert_eq!(m.fingerprint(), threaded.fingerprint());
+    }
+
+    #[test]
+    fn view_fingerprint_equals_rebuilt_market() {
+        let m = table1();
+        let v = m.view(Some(&[0]), Some(&[1, 2]));
+        let rebuilt = Market::new(
+            WtpMatrix::from_rows(vec![vec![8.0], vec![5.0]]),
+            Params::default().with_theta(-0.05),
+        );
+        assert_eq!(v.fingerprint(), rebuilt.fingerprint());
+        assert_ne!(v.fingerprint(), m.fingerprint());
     }
 
     #[test]

@@ -172,6 +172,32 @@ impl Params {
         self.gamma >= Self::STEP_GAMMA
     }
 
+    /// Stable 64-bit fingerprint of every **solve-relevant** parameter —
+    /// the raw bits of λ, θ, γ, α, ε, the size cap, `T`, the objective
+    /// weight, and the unit cost.
+    ///
+    /// `threads` is deliberately **excluded**: the determinism contract
+    /// (`DESIGN.md` §6) guarantees bit-identical results at any thread
+    /// count, so the thread knob must not split solve-cache keys — a sweep
+    /// run under `REVMAX_THREADS=1` and one under `=8` see the very same
+    /// fingerprints (pinned by `tests/engine_determinism.rs`).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = crate::fingerprint::Fingerprinter::new("params");
+        fp.write_f64(self.lambda);
+        fp.write_f64(self.theta);
+        match self.size_cap {
+            SizeCap::Unlimited => fp.write_u64(u64::MAX),
+            SizeCap::AtMost(k) => fp.write_usize(k),
+        }
+        fp.write_f64(self.gamma);
+        fp.write_f64(self.adoption_bias);
+        fp.write_f64(self.epsilon);
+        fp.write_usize(self.price_levels);
+        fp.write_f64(self.objective_alpha);
+        fp.write_f64(self.unit_cost);
+        fp.finish()
+    }
+
     /// WTP of a set of items given the raw per-item sum and the set size:
     /// Eq. 1 applies θ only to genuine bundles, not singletons.
     #[inline]
@@ -236,6 +262,19 @@ mod tests {
     #[should_panic(expected = "gamma")]
     fn rejects_zero_gamma() {
         Params::default().with_gamma(0.0).validate();
+    }
+
+    #[test]
+    fn fingerprint_tracks_solve_relevant_fields_only() {
+        let base = Params::default();
+        assert_eq!(base.fingerprint(), Params::default().fingerprint());
+        assert_ne!(base.fingerprint(), base.with_theta(0.05).fingerprint());
+        assert_ne!(base.fingerprint(), base.with_lambda(1.5).fingerprint());
+        assert_ne!(base.fingerprint(), base.with_price_levels(50).fingerprint());
+        assert_ne!(base.fingerprint(), base.with_size_cap(SizeCap::AtMost(3)).fingerprint());
+        // The thread knob is outside the fingerprint (DESIGN.md §6: thread
+        // count never affects results, so it must not split cache keys).
+        assert_eq!(base.fingerprint(), base.with_threads(Threads::Fixed(8)).fingerprint());
     }
 
     #[test]

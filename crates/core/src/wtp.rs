@@ -30,7 +30,7 @@ impl CsrHalf {
 }
 
 /// The immutable dual-CSR arena: both orientations over one entry set.
-#[derive(Debug, PartialEq)]
+#[derive(Debug)]
 struct WtpStore {
     n_users: usize,
     n_items: usize,
@@ -44,6 +44,9 @@ struct WtpStore {
     /// Listed per-item prices when constructed from ratings data (used by
     /// the "Amazon's pricing" baseline of Table 2).
     listed_prices: Option<Vec<f64>>,
+    /// Lazily computed content fingerprint of the whole arena
+    /// ([`WtpMatrix::fingerprint`]).
+    fingerprint: OnceLock<u64>,
 }
 
 /// A borrowed sparse vector: parallel id/value slices, ids strictly
@@ -117,6 +120,9 @@ struct ViewState {
     lazy_rows: Vec<OnceLock<(Vec<u32>, Vec<f64>)>>,
     /// Σ of the entries inside the restriction.
     total_wtp: f64,
+    /// Lazily computed content fingerprint of the restriction
+    /// ([`WtpMatrix::fingerprint`]).
+    fingerprint: OnceLock<u64>,
 }
 
 /// Sparse `M × N` willingness-to-pay matrix over a shared dual-CSR arena.
@@ -242,6 +248,7 @@ impl CsrBuilder {
                 rows: CsrHalf { indptr: row_indptr, indices: row_indices, values: row_values },
                 total_wtp: total,
                 listed_prices,
+                fingerprint: OnceLock::new(),
             }),
             view: None,
         }
@@ -544,8 +551,48 @@ impl WtpMatrix {
                 item_rank,
                 items_restricted,
                 total_wtp: total,
+                fingerprint: OnceLock::new(),
             })),
         }
+    }
+
+    /// Stable 64-bit **content fingerprint** of this matrix: dimensions,
+    /// every stored `(user, item, wtp)` entry (ids and value bits, in
+    /// column iteration order), and the listed prices. Logically equal
+    /// matrices fingerprint equal — an arena and a view with identical
+    /// content, or a view and a matrix rebuilt from the restricted triples,
+    /// share one digest — which is what lets the sweep engine's solve cache
+    /// (`DESIGN.md` §8) recognize repeated sub-markets across sweep axes.
+    ///
+    /// Computed once per arena/view and cached (`OnceLock`); for a
+    /// user-restricted view the first call materializes every lazy column,
+    /// which a subsequent solve would do anyway.
+    pub fn fingerprint(&self) -> u64 {
+        let slot = match &self.view {
+            None => &self.store.fingerprint,
+            Some(v) => &v.fingerprint,
+        };
+        *slot.get_or_init(|| {
+            let mut fp = crate::fingerprint::Fingerprinter::new("wtp");
+            fp.write_usize(self.n_users());
+            fp.write_usize(self.n_items());
+            for i in 0..self.n_items() as u32 {
+                let col = self.col(i);
+                fp.write_usize(col.len());
+                for (u, w) in col.iter() {
+                    fp.write_u32(u);
+                    fp.write_f64(w);
+                }
+                match self.listed_price(i) {
+                    Some(p) => {
+                        fp.write_u32(1);
+                        fp.write_f64(p);
+                    }
+                    None => fp.write_u32(0),
+                }
+            }
+            fp.finish()
+        })
     }
 }
 
@@ -735,6 +782,46 @@ mod tests {
         assert_ne!(plain, priced);
         assert_ne!(priced, repriced);
         assert_eq!(priced.clone(), priced);
+    }
+
+    #[test]
+    fn fingerprint_is_content_based() {
+        let a = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
+        let b = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
+        // Separately built arenas with identical content agree.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Any entry change shows.
+        let c = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.5]]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Dimensions matter even when the stored entries coincide.
+        let d = WtpMatrix::from_triples(4, 2, vec![(0, 0, 12.0)], None);
+        let e = WtpMatrix::from_triples(5, 2, vec![(0, 0, 12.0)], None);
+        assert_ne!(d.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
+    fn view_fingerprint_equals_rebuilt_matrix() {
+        let w = WtpMatrix::from_rows(vec![
+            vec![1.0, 0.0, 3.0, 4.0],
+            vec![0.0, 5.0, 6.0, 0.0],
+            vec![7.0, 8.0, 0.0, 9.0],
+        ]);
+        let v = w.restrict(Some(&[0, 2, 3]), Some(&[0, 2]));
+        let rebuilt = WtpMatrix::from_rows(vec![vec![1.0, 3.0, 4.0], vec![7.0, 0.0, 9.0]]);
+        assert_eq!(v.fingerprint(), rebuilt.fingerprint());
+        // ... and differs from both the arena and a different restriction.
+        assert_ne!(v.fingerprint(), w.fingerprint());
+        assert_ne!(v.fingerprint(), w.restrict(Some(&[0, 2, 3]), Some(&[0, 1])).fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_includes_listed_prices() {
+        let triples = vec![(0u32, 0u32, 5.0)];
+        let plain = WtpMatrix::from_triples(1, 1, triples.clone(), None);
+        let priced = WtpMatrix::from_triples(1, 1, triples.clone(), Some(vec![9.99]));
+        let repriced = WtpMatrix::from_triples(1, 1, triples, Some(vec![4.99]));
+        assert_ne!(plain.fingerprint(), priced.fingerprint());
+        assert_ne!(priced.fingerprint(), repriced.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! The fingerprint-keyed solve cache.
+//!
+//! A solve cell's cache key combines the market's content fingerprint
+//! ([`revmax_core::market::Market::fingerprint`] — WTP content including
+//! any view restriction, resolved solve-relevant params, price mode) with
+//! the configurator's registry name. Two cells with equal keys are
+//! guaranteed bit-identical solves, so the engine runs the first and
+//! reuses its outcome for the rest.
+//!
+//! Determinism of the **counters** (not just the results): the cache is
+//! probed in cell order *before* any solve runs, so which cell is the
+//! miss and which cells are hits is a pure function of the spec — never
+//! of thread scheduling. The executor then solves only the misses, in
+//! parallel, and fans the outcomes back out.
+
+use revmax_core::fingerprint::{combine, fingerprint_str};
+use std::collections::HashMap;
+
+/// Build the cache key for (market fingerprint, configurator name).
+pub fn solve_key(market_fingerprint: u64, method: &str) -> u64 {
+    combine(market_fingerprint, fingerprint_str(method))
+}
+
+/// Hit/miss counters, surfaced in the sweep report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    pub hits: usize,
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Result of probing the cache for one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// First sighting of this key; the caller owns solving it. The key is
+    /// now bound to the unique-solve slot the caller supplied.
+    Miss,
+    /// Key already owned by this unique-solve slot.
+    Hit(usize),
+}
+
+/// Deterministic dedup map from solve keys to unique-solve slots.
+#[derive(Debug)]
+pub struct SolveCache {
+    enabled: bool,
+    map: HashMap<u64, usize>,
+    pub stats: CacheStats,
+}
+
+impl SolveCache {
+    /// A cache; `enabled = false` degrades to counting every probe a miss
+    /// (each cell solves independently — the cold-sweep reference).
+    pub fn new(enabled: bool) -> Self {
+        SolveCache { enabled, map: HashMap::new(), stats: CacheStats::default() }
+    }
+
+    /// Probe `key`; on a miss, bind it to `next_unique` (the slot the
+    /// caller will place the solve result in).
+    pub fn probe(&mut self, key: u64, next_unique: usize) -> Probe {
+        if self.enabled {
+            if let Some(&slot) = self.map.get(&key) {
+                self.stats.hits += 1;
+                return Probe::Hit(slot);
+            }
+            self.map.insert(key, next_unique);
+        }
+        self.stats.misses += 1;
+        Probe::Miss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_keys_hit() {
+        let mut c = SolveCache::new(true);
+        assert_eq!(c.probe(42, 0), Probe::Miss);
+        assert_eq!(c.probe(42, 1), Probe::Hit(0));
+        assert_eq!(c.probe(43, 1), Probe::Miss);
+        assert_eq!(c.probe(42, 2), Probe::Hit(0));
+        assert_eq!(c.stats, CacheStats { hits: 2, misses: 2 });
+        assert!((c.stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_cache_misses_everything() {
+        let mut c = SolveCache::new(false);
+        assert_eq!(c.probe(42, 0), Probe::Miss);
+        assert_eq!(c.probe(42, 1), Probe::Miss);
+        assert_eq!(c.stats, CacheStats { hits: 0, misses: 2 });
+        assert_eq!(c.stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn key_separates_method_and_market() {
+        let a = solve_key(1, "Components");
+        assert_ne!(a, solve_key(1, "Pure Greedy"));
+        assert_ne!(a, solve_key(2, "Components"));
+        assert_eq!(a, solve_key(1, "Components"));
+    }
+}

@@ -1,0 +1,398 @@
+//! # revmax-engine — the sharded multi-market sweep engine
+//!
+//! PR 3's zero-copy [`revmax_core::market::MarketView`] partitioning and
+//! [`revmax_core::algorithms::registry`] give per-cohort solves; this
+//! crate orchestrates them at fleet scale (`DESIGN.md` §8). A
+//! [`SweepSpec`] — a grid over configurators, market partitions, θ
+//! values, scales, and seeds — expands into a job
+//! DAG ([`dag::JobDag`]: dataset → market → partition → solve), and the
+//! jobs execute on [`revmax_par`] under the existing determinism
+//! contract: **results are assembled in job-index order and are
+//! bit-identical regardless of the thread count** (`DESIGN.md` §6,
+//! enforced end to end by `tests/engine_determinism.rs`).
+//!
+//! Repeated cells across sweep axes are solved once: every solve cell is
+//! keyed by a content fingerprint of its sub-market and configurator
+//! ([`cache::solve_key`] over [`revmax_core::market::Market::fingerprint`])
+//! and deduplicated through the [`cache::SolveCache`] *before* execution,
+//! so the hit/miss counters in the [`report::SweepReport`] are a pure
+//! function of the spec, never of scheduling.
+//!
+//! ```no_run
+//! use revmax_engine::{run_sweep, SweepSpec};
+//!
+//! let mut spec = SweepSpec::default();
+//! spec.apply("thetas", "0,0.05").unwrap();
+//! spec.apply("seeds", "2015,2015").unwrap(); // repeat → cache hits
+//! spec.apply("cohorts", "3").unwrap();
+//! let report = run_sweep(&spec).unwrap();
+//! println!("{}", report.render_table());
+//! assert!(report.hit_rate() > 0.0);
+//! ```
+
+pub mod cache;
+pub mod dag;
+pub mod report;
+pub mod spec;
+
+pub use cache::{CacheStats, SolveCache};
+pub use dag::{Cohort, DagSummary, JobDag};
+pub use report::{BenchEntry, CellResult, SolveTiming, SweepReport};
+pub use spec::{ScaleSpec, SweepSpec};
+
+use revmax_core::algorithms;
+use revmax_core::market::{Market, MarketView};
+use revmax_core::prelude::{Params, Threads, WtpMatrix};
+use revmax_par::par_index_map;
+use std::time::{Duration, Instant};
+
+/// Hard cap on timing repetitions per unique solve when
+/// [`SweepSpec::budget_ms`] keeps extending a microsecond-scale solve.
+pub const MAX_TIMED_REPS: usize = 20_000;
+
+/// Balanced activity cohort labels: users ranked by rating count (ties by
+/// id) and split into `k` contiguous rank groups, so every label
+/// `0..k` is populated whenever `n_users ≥ k`. Pure function of the
+/// market content — the partition is part of the sweep's deterministic
+/// surface.
+pub fn activity_labels(market: &Market, k: usize) -> Vec<u32> {
+    let n = market.n_users();
+    assert!(k >= 1 && n >= k, "cannot split {n} consumers into {k} cohorts");
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&u| (market.wtp().row(u).len(), u));
+    let mut labels = vec![0u32; n];
+    for (rank, &u) in order.iter().enumerate() {
+        labels[u as usize] = (rank * k / n) as u32;
+    }
+    labels
+}
+
+/// Run a sweep: expand the DAG, execute its stages on `revmax-par`, and
+/// assemble the report in cell order. See the crate docs for the
+/// determinism and caching guarantees.
+pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, String> {
+    spec.validate()?;
+    // Canonicalize method names up front: a directly-constructed spec may
+    // carry aliases (`pure_matching`), and everything downstream — the
+    // registry lookup, the cache key, the report rows — must see one
+    // spelling per method.
+    let spec = {
+        let mut s = spec.clone();
+        for m in &mut s.methods {
+            *m = spec::resolve_method(m)?;
+        }
+        s
+    };
+    let spec = &spec;
+    let threads = spec.threads.get();
+    let t0 = Instant::now();
+    let dag = JobDag::expand(spec);
+
+    // Stage 1 — datasets: one generator run per distinct (scale, seed).
+    let dataset_params: Vec<(ScaleSpec, u64)> = dag
+        .datasets
+        .iter()
+        .map(|&j| match dag.jobs[j].kind {
+            dag::JobKind::Dataset { scale, seed } => (scale, seed),
+            _ => unreachable!("dataset stage holds dataset jobs"),
+        })
+        .collect();
+    let datasets = par_index_map(threads, dataset_params.len(), |k| {
+        let (scale, seed) = dataset_params[k];
+        scale.config().generate(seed)
+    });
+
+    // Stage 2 — markets: WTP matrix + θ-bearing params per distinct
+    // (dataset, θ). Inner solves are pinned to 1 thread: the engine owns
+    // the fan-out (DESIGN.md §8's no-nested-fan-out rule).
+    let market_params: Vec<(usize, f64)> = dag
+        .markets
+        .iter()
+        .map(|&j| match dag.jobs[j].kind {
+            dag::JobKind::Market { dataset, theta } => (dataset, theta),
+            _ => unreachable!("market stage holds market jobs"),
+        })
+        .collect();
+    let markets: Vec<Market> = par_index_map(threads, market_params.len(), |k| {
+        let (ds, theta) = market_params[k];
+        let data = &datasets[ds];
+        let params = Params::default().with_theta(theta).with_threads(Threads::Fixed(1));
+        let wtp = WtpMatrix::from_ratings(
+            data.n_users(),
+            data.n_items(),
+            data.triples(),
+            data.prices(),
+            params.lambda,
+        );
+        Market::new(wtp, params)
+    });
+
+    if spec.cohorts >= 1 {
+        if let Some(m) = markets.iter().find(|m| m.n_users() < spec.cohorts) {
+            return Err(format!(
+                "cannot split {} consumers into {} cohorts (scale too small)",
+                m.n_users(),
+                spec.cohorts
+            ));
+        }
+    }
+
+    // Stage 3 — partitions + fingerprints: per market, the cohort views
+    // and the content fingerprint of every solvable sub-market. Computing
+    // fingerprints here also materializes the views' lazy columns once,
+    // outside the timed solves.
+    struct Partitioned {
+        views: Vec<MarketView>,
+        whole_fp: u64,
+        view_fps: Vec<u64>,
+    }
+    let partitioned: Vec<Partitioned> = par_index_map(threads, markets.len(), |k| {
+        let market = &markets[k];
+        let views = if spec.cohorts >= 1 {
+            market.partition_by(&activity_labels(market, spec.cohorts))
+        } else {
+            Vec::new()
+        };
+        Partitioned {
+            whole_fp: market.fingerprint(),
+            view_fps: views.iter().map(|v| v.fingerprint()).collect(),
+            views,
+        }
+    });
+
+    // Stage 4 — deterministic cache pass over the cells, in cell order:
+    // assign each cell either a fresh unique-solve slot or the slot of an
+    // earlier cell with the same (sub-market, method) fingerprint key.
+    let mut solve_cache = SolveCache::new(spec.cache);
+    let mut assignment: Vec<(usize, bool)> = Vec::with_capacity(dag.cells.len()); // (slot, cached)
+    let mut uniques: Vec<usize> = Vec::new(); // slot → cell index
+    for (idx, cell) in dag.cells.iter().enumerate() {
+        let p = &partitioned[cell.market];
+        let fp = match cell.cohort {
+            Cohort::Whole => p.whole_fp,
+            Cohort::Seg(k) => p.view_fps[k as usize],
+        };
+        match solve_cache.probe(cache::solve_key(fp, &cell.method), uniques.len()) {
+            cache::Probe::Hit(slot) => assignment.push((slot, true)),
+            cache::Probe::Miss => {
+                assignment.push((uniques.len(), false));
+                uniques.push(idx);
+            }
+        }
+    }
+
+    // Stage 5 — the unique solves, in parallel, results in slot order.
+    struct Solved {
+        outcome: revmax_core::config::Outcome,
+        timing: SolveTiming,
+    }
+    let solved: Vec<Solved> = par_index_map(threads, uniques.len(), |slot| {
+        let cell = &dag.cells[uniques[slot]];
+        let p = &partitioned[cell.market];
+        let market: &Market = match cell.cohort {
+            Cohort::Whole => &markets[cell.market],
+            Cohort::Seg(k) => &p.views[k as usize],
+        };
+        let configurator = algorithms::by_name(&cell.method).expect("validated method name");
+        // At least `repeat` timed repetitions; with a measurement budget,
+        // short solves keep repeating until the budget accumulates (the
+        // outcome is bit-identical every repetition — only the wall-clock
+        // statistics improve).
+        let budget = Duration::from_millis(spec.budget_ms);
+        let mut outcome = None;
+        let mut durations = Vec::with_capacity(spec.repeat);
+        let mut spent = Duration::ZERO;
+        while durations.len() < spec.repeat || (spent < budget && durations.len() < MAX_TIMED_REPS)
+        {
+            let t = Instant::now();
+            outcome = Some(configurator.run(market));
+            let d = t.elapsed();
+            spent += d;
+            durations.push(d);
+        }
+        Solved {
+            outcome: outcome.expect("repeat >= 1"),
+            timing: SolveTiming::from_durations(&durations),
+        }
+    });
+
+    // Stage 6 — assemble the report in cell order. The canonical
+    // serialization is computed once per unique solve (a full bundle-tree
+    // walk); cached cells clone the string.
+    let canons: Vec<String> = solved.iter().map(|s| report::canon_outcome(&s.outcome)).collect();
+    let cells: Vec<CellResult> = dag
+        .cells
+        .iter()
+        .zip(&assignment)
+        .map(|(cell, &(slot, cached))| {
+            let p = &partitioned[cell.market];
+            let (fp, n_users, n_items) = match cell.cohort {
+                Cohort::Whole => {
+                    let m = &markets[cell.market];
+                    (p.whole_fp, m.n_users(), m.n_items())
+                }
+                Cohort::Seg(k) => {
+                    let v = &p.views[k as usize];
+                    (p.view_fps[k as usize], v.n_users(), v.n_items())
+                }
+            };
+            let s = &solved[slot];
+            CellResult {
+                method: cell.method.clone(),
+                scale: cell.scale,
+                theta: cell.theta,
+                seed: cell.seed,
+                cohort: cell.cohort,
+                n_users,
+                n_items,
+                fingerprint: fp,
+                revenue: s.outcome.revenue,
+                components_revenue: s.outcome.components_revenue,
+                coverage: s.outcome.coverage,
+                gain: s.outcome.gain,
+                n_bundles: s.outcome.config.n_bundles(),
+                config_canon: canons[slot].clone(),
+                cached,
+                timing: if cached { None } else { Some(s.timing) },
+            }
+        })
+        .collect();
+
+    Ok(SweepReport {
+        cells,
+        cache: solve_cache.stats,
+        dag: dag.summary(),
+        threads,
+        wall: t0.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        let mut spec = SweepSpec::default();
+        spec.apply("methods", "components,pure_greedy").unwrap();
+        spec.apply("scales", "tiny").unwrap();
+        spec.apply("threads", "2").unwrap();
+        spec
+    }
+
+    #[test]
+    fn whole_market_sweep_runs() {
+        let report = run_sweep(&tiny_spec()).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cache.misses, 2);
+        assert_eq!(report.cache.hits, 0);
+        assert!(report.cells.iter().all(|c| c.revenue > 0.0 && !c.cached));
+        assert!(report.cells.iter().all(|c| c.timing.is_some()));
+    }
+
+    #[test]
+    fn repeated_seed_hits_the_cache() {
+        let mut spec = tiny_spec();
+        spec.apply("seeds", "2015,2015").unwrap();
+        let report = run_sweep(&spec).unwrap();
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.cache.hits, 2, "the duplicated seed's cells must hit");
+        assert_eq!(report.cache.misses, 2);
+        assert!(report.hit_rate() > 0.0);
+        // The DAG collapsed the upstream jobs too.
+        assert_eq!(report.dag.datasets, 1);
+        assert_eq!(report.dag.markets, 1);
+        // Cached cells mirror their source bit for bit.
+        assert_eq!(report.cells[0].config_canon, report.cells[2].config_canon);
+        assert!(report.cells[2].cached && report.cells[2].timing.is_none());
+    }
+
+    #[test]
+    fn cache_off_solves_every_cell() {
+        let mut spec = tiny_spec();
+        spec.apply("seeds", "2015,2015").unwrap();
+        spec.apply("cache", "off").unwrap();
+        let report = run_sweep(&spec).unwrap();
+        assert_eq!(report.cache.hits, 0);
+        assert_eq!(report.cache.misses, 4);
+        assert!(report.cells.iter().all(|c| !c.cached));
+    }
+
+    #[test]
+    fn cohort_cells_sum_to_whole_market_users() {
+        let mut spec = tiny_spec();
+        spec.apply("cohorts", "3").unwrap();
+        let report = run_sweep(&spec).unwrap();
+        assert_eq!(report.cells.len(), 2 * 4);
+        let whole_users = report.cells[0].n_users;
+        let cohort_users: usize = report
+            .cells
+            .iter()
+            .filter(|c| c.method == "Components" && c.cohort != Cohort::Whole)
+            .map(|c| c.n_users)
+            .sum();
+        assert_eq!(cohort_users, whole_users);
+        // Distinct sub-markets fingerprint differently.
+        let mut fps: Vec<u64> = report
+            .cells
+            .iter()
+            .filter(|c| c.method == "Components")
+            .map(|c| c.fingerprint)
+            .collect();
+        fps.dedup();
+        assert_eq!(fps.len(), 4);
+    }
+
+    #[test]
+    fn activity_labels_are_balanced_and_deterministic() {
+        let data = ScaleSpec::Tiny.config().generate(3);
+        let params = Params::default();
+        let wtp = WtpMatrix::from_ratings(
+            data.n_users(),
+            data.n_items(),
+            data.triples(),
+            data.prices(),
+            params.lambda,
+        );
+        let market = Market::new(wtp, params);
+        let labels = activity_labels(&market, 3);
+        assert_eq!(labels, activity_labels(&market, 3));
+        let mut counts = [0usize; 3];
+        for &l in &labels {
+            counts[l as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "every cohort populated: {counts:?}");
+        assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn alias_method_names_are_canonicalized() {
+        // A directly-constructed spec may carry aliases; the sweep must
+        // resolve them (same cache keys, same report names) rather than
+        // panic at the registry lookup.
+        let mut spec = tiny_spec();
+        spec.methods = vec!["pure_matching".into(), "Pure Matching".into()];
+        let report = run_sweep(&spec).unwrap();
+        assert!(report.cells.iter().all(|c| c.method == "Pure Matching"));
+        assert_eq!(report.cache.hits, 1, "both spellings must share one cache key");
+    }
+
+    #[test]
+    fn too_many_cohorts_is_an_error() {
+        let mut spec = tiny_spec();
+        spec.apply("cohorts", "10000").unwrap();
+        let err = run_sweep(&spec).unwrap_err();
+        assert!(err.contains("cohorts"), "{err}");
+    }
+
+    #[test]
+    fn bench_entries_cover_whole_market_cells_only() {
+        let mut spec = tiny_spec();
+        spec.apply("cohorts", "2").unwrap();
+        spec.apply("repeat", "2").unwrap();
+        let report = run_sweep(&spec).unwrap();
+        let entries = report.bench_entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().any(|e| e.id == "sweep_tiny/theta0/components"));
+        assert!(entries.iter().all(|e| e.iters == 2));
+    }
+}

@@ -1,0 +1,332 @@
+//! The sweep specification: a grid over configurators, scales, θ values,
+//! seeds, and a cohort-partition axis, plus execution knobs.
+//!
+//! Specs parse from a tiny hand-rolled `key=value` format (values CSV) so
+//! the `sweep` binary needs no external dependencies (vendor policy):
+//!
+//! ```text
+//! # one key=value per line (or per CLI argument); '#' starts a comment
+//! methods=all            # or CSV of registry names / snake aliases
+//! scales=small           # tiny|small|medium|paper (CSV)
+//! thetas=0,0.05          # bundling coefficients (CSV of f64)
+//! seeds=2015,2015        # generator seeds; repeats are legal — the solve
+//!                        # cache collapses the duplicate cells
+//! cohorts=3              # 0 = whole market only; k ≥ 1 adds k activity
+//!                        # cohorts alongside the whole-market cell
+//! repeat=5               # timing repetitions per unique solve
+//! budget_ms=40           # keep repeating short solves until this much
+//!                        # measured time accumulates (0 = off) — wall
+//!                        # clock only, results are unaffected
+//! cache=on               # on|off — fingerprint-keyed solve cache
+//! threads=auto           # engine fan-out (auto = REVMAX_THREADS / cores)
+//! ```
+
+use revmax_core::algorithms;
+use revmax_core::prelude::Threads;
+use revmax_dataset::AmazonBooksConfig;
+
+/// Dataset scale presets for the sweep axes. `Tiny` is an
+/// engine-test-only preset (a few dozen consumers, fast in debug builds);
+/// the other three mirror the experiment harness presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaleSpec {
+    Tiny,
+    Small,
+    Medium,
+    Paper,
+}
+
+impl ScaleSpec {
+    /// Lower-case name (spec syntax and report rendering).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScaleSpec::Tiny => "tiny",
+            ScaleSpec::Small => "small",
+            ScaleSpec::Medium => "medium",
+            ScaleSpec::Paper => "paper",
+        }
+    }
+
+    /// Parse a spec-syntax scale name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "tiny" => Ok(ScaleSpec::Tiny),
+            "small" => Ok(ScaleSpec::Small),
+            "medium" => Ok(ScaleSpec::Medium),
+            "paper" => Ok(ScaleSpec::Paper),
+            other => Err(format!("unknown scale '{other}' (tiny|small|medium|paper)")),
+        }
+    }
+
+    /// The generator configuration behind this preset.
+    pub fn config(&self) -> AmazonBooksConfig {
+        match self {
+            ScaleSpec::Tiny => AmazonBooksConfig {
+                n_users: 48,
+                n_items: 24,
+                min_degree: 3,
+                mean_extra_degree: 4.0,
+                ..AmazonBooksConfig::small()
+            },
+            ScaleSpec::Small => AmazonBooksConfig::small(),
+            ScaleSpec::Medium => AmazonBooksConfig::medium(),
+            ScaleSpec::Paper => AmazonBooksConfig::paper(),
+        }
+    }
+}
+
+/// A batch sweep: the grid axes plus execution knobs. Axis values are
+/// kept verbatim — **duplicates are legal** (e.g. a repeated seed) and are
+/// collapsed by the job DAG and the solve cache rather than rejected, so a
+/// spec can deliberately exercise the cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Canonical registry names ([`revmax_core::algorithms::registry`]).
+    pub methods: Vec<String>,
+    /// Dataset scales.
+    pub scales: Vec<ScaleSpec>,
+    /// Bundling coefficients θ.
+    pub thetas: Vec<f64>,
+    /// Generator seeds.
+    pub seeds: Vec<u64>,
+    /// `0` solves the whole market only; `k ≥ 1` additionally partitions
+    /// each market into `k` activity cohorts (balanced by rating count)
+    /// and solves every cohort, so per-segment menus can be compared
+    /// against the whole-market menu.
+    pub cohorts: usize,
+    /// Timing repetitions per unique solve (the report keeps min/mean/max).
+    pub repeat: usize,
+    /// Measurement budget per unique solve, in milliseconds. When > 0, a
+    /// solve keeps repeating beyond `repeat` until this much measured time
+    /// accumulates (capped at [`crate::MAX_TIMED_REPS`]), criterion-style,
+    /// so microsecond-scale solves report warm means a `perf_check`
+    /// comparison against a criterion baseline can trust. Wall clock only
+    /// — the solved outcomes are bit-identical with the budget on or off.
+    pub budget_ms: u64,
+    /// Fingerprint-keyed solve cache on/off.
+    pub cache: bool,
+    /// Engine fan-out (the per-solve inner thread count is pinned to 1 —
+    /// `DESIGN.md` §8's no-nested-fan-out rule).
+    pub threads: Threads,
+}
+
+impl Default for SweepSpec {
+    /// All seven registry methods, small scale, θ = 0, seed 2015, whole
+    /// market only, one repetition, cache on, auto fan-out.
+    fn default() -> Self {
+        SweepSpec {
+            methods: algorithms::registry().iter().map(|(n, _)| n.to_string()).collect(),
+            scales: vec![ScaleSpec::Small],
+            thetas: vec![0.0],
+            seeds: vec![2015],
+            cohorts: 0,
+            repeat: 1,
+            budget_ms: 0,
+            cache: true,
+            threads: Threads::Auto,
+        }
+    }
+}
+
+/// Lower-case, separator-free normal form used to match method aliases
+/// (`pure_matching`, `Pure Matching`, `pure-matching` all agree).
+fn norm(s: &str) -> String {
+    s.chars().filter(|c| ![' ', '_', '-'].contains(c)).flat_map(char::to_lowercase).collect()
+}
+
+/// Resolve one method name (canonical or snake/kebab alias) to its
+/// canonical registry name.
+pub fn resolve_method(name: &str) -> Result<String, String> {
+    let want = norm(name);
+    for (canonical, _) in algorithms::registry() {
+        if norm(canonical) == want {
+            return Ok(canonical.to_string());
+        }
+    }
+    let known: Vec<&str> = algorithms::registry().iter().map(|(n, _)| *n).collect();
+    Err(format!("unknown method '{name}' (known: {})", known.join(", ")))
+}
+
+impl SweepSpec {
+    /// Apply one `key=value` assignment (spec-file line or CLI argument).
+    pub fn apply(&mut self, key: &str, value: &str) -> Result<(), String> {
+        let csv = || value.split(',').map(str::trim).filter(|s| !s.is_empty());
+        match key {
+            "methods" => {
+                let mut out = Vec::new();
+                for m in csv() {
+                    match m {
+                        "all" => {
+                            out.extend(algorithms::registry().iter().map(|(n, _)| n.to_string()))
+                        }
+                        "proposed" => out.extend(
+                            ["Pure Matching", "Pure Greedy", "Mixed Matching", "Mixed Greedy"]
+                                .iter()
+                                .map(|s| s.to_string()),
+                        ),
+                        other => out.push(resolve_method(other)?),
+                    }
+                }
+                self.methods = out;
+            }
+            "scale" | "scales" => {
+                self.scales = csv().map(ScaleSpec::parse).collect::<Result<_, _>>()?;
+            }
+            "theta" | "thetas" => {
+                self.thetas = csv()
+                    .map(|s| s.parse::<f64>().map_err(|_| format!("theta '{s}' is not a number")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "seed" | "seeds" => {
+                self.seeds = csv()
+                    .map(|s| s.parse::<u64>().map_err(|_| format!("seed '{s}' is not a u64")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "cohorts" => {
+                self.cohorts =
+                    value.parse().map_err(|_| format!("cohorts '{value}' is not a usize"))?;
+            }
+            "repeat" => {
+                self.repeat =
+                    value.parse().map_err(|_| format!("repeat '{value}' is not a usize"))?;
+            }
+            "budget_ms" => {
+                self.budget_ms =
+                    value.parse().map_err(|_| format!("budget_ms '{value}' is not a u64"))?;
+            }
+            "cache" => {
+                self.cache = match value {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => return Err(format!("cache '{other}' (expected on|off)")),
+                };
+            }
+            "threads" => {
+                self.threads = if value == "auto" {
+                    Threads::Auto
+                } else {
+                    let n: usize = value
+                        .parse()
+                        .map_err(|_| format!("threads '{value}' is not auto or a usize"))?;
+                    if n == 0 {
+                        return Err("threads must be >= 1".into());
+                    }
+                    Threads::Fixed(n)
+                };
+            }
+            other => return Err(format!("unknown spec key '{other}'")),
+        }
+        Ok(())
+    }
+
+    /// Apply a whole spec text: one `key=value` per line, `#` comments and
+    /// blank lines ignored.
+    pub fn apply_text(&mut self, text: &str) -> Result<(), String> {
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key=value, got '{line}'", lineno + 1))?;
+            self.apply(key.trim(), value.trim())
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        }
+        Ok(())
+    }
+
+    /// Check the spec is runnable: non-empty axes, `repeat ≥ 1`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.methods.is_empty() {
+            return Err("no methods selected".into());
+        }
+        for m in &self.methods {
+            resolve_method(m)?;
+        }
+        if self.scales.is_empty() || self.thetas.is_empty() || self.seeds.is_empty() {
+            return Err("every axis (scales, thetas, seeds) needs at least one value".into());
+        }
+        for &t in &self.thetas {
+            if t <= -1.0 || t.is_nan() {
+                return Err(format!("theta must be > -1, got {t}"));
+            }
+        }
+        if self.repeat == 0 {
+            return Err("repeat must be >= 1".into());
+        }
+        self.threads.validate();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_all_seven_methods() {
+        let spec = SweepSpec::default();
+        assert_eq!(spec.methods.len(), 7);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn method_aliases_resolve() {
+        assert_eq!(resolve_method("pure_matching").unwrap(), "Pure Matching");
+        assert_eq!(resolve_method("Mixed Greedy").unwrap(), "Mixed Greedy");
+        assert_eq!(resolve_method("mixed-freqitemset").unwrap(), "Mixed FreqItemset");
+        assert!(resolve_method("no such").is_err());
+    }
+
+    #[test]
+    fn apply_parses_every_key() {
+        let mut spec = SweepSpec::default();
+        spec.apply("methods", "components,pure_matching").unwrap();
+        spec.apply("scales", "tiny,small").unwrap();
+        spec.apply("thetas", "0,-0.05,0.1").unwrap();
+        spec.apply("seeds", "2015,2015").unwrap();
+        spec.apply("cohorts", "3").unwrap();
+        spec.apply("repeat", "5").unwrap();
+        spec.apply("budget_ms", "40").unwrap();
+        spec.apply("cache", "off").unwrap();
+        spec.apply("threads", "4").unwrap();
+        assert_eq!(spec.methods, vec!["Components", "Pure Matching"]);
+        assert_eq!(spec.scales, vec![ScaleSpec::Tiny, ScaleSpec::Small]);
+        assert_eq!(spec.thetas, vec![0.0, -0.05, 0.1]);
+        assert_eq!(spec.seeds, vec![2015, 2015]); // duplicates preserved
+        assert_eq!(spec.cohorts, 3);
+        assert_eq!(spec.repeat, 5);
+        assert_eq!(spec.budget_ms, 40);
+        assert!(!spec.cache);
+        assert_eq!(spec.threads, Threads::Fixed(4));
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn spec_text_with_comments_parses() {
+        let mut spec = SweepSpec::default();
+        spec.apply_text("# demo sweep\nmethods=all\n\nthetas=0,0.05 # complements too\ncache=on\n")
+            .unwrap();
+        assert_eq!(spec.methods.len(), 7);
+        assert_eq!(spec.thetas, vec![0.0, 0.05]);
+    }
+
+    #[test]
+    fn bad_inputs_error_with_context() {
+        let mut spec = SweepSpec::default();
+        assert!(spec.apply("thetas", "abc").is_err());
+        assert!(spec.apply("nope", "1").is_err());
+        assert!(spec.apply_text("methods").is_err());
+        assert!(spec.apply("threads", "0").is_err());
+        spec.thetas = vec![-1.5];
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn tiny_scale_generates_quickly_and_nonempty() {
+        let data = ScaleSpec::Tiny.config().generate(7);
+        assert!(data.n_users() >= ScaleSpec::Tiny.config().min_degree);
+        assert!(data.n_items() > 0);
+    }
+}

@@ -24,6 +24,11 @@
 //! * [`par`] ([`revmax_par`]) — deterministic parallel execution primitives
 //!   (`std::thread::scope`, no dependencies); results are bit-identical
 //!   regardless of the thread count (`DESIGN.md` §6).
+//! * [`engine`] ([`revmax_engine`]) — the sharded multi-market sweep
+//!   engine: grids over (configurator × partition × θ × scale × seed)
+//!   expand into a job DAG, execute on `par` under the same determinism
+//!   contract, and collapse repeated cells through a fingerprint-keyed
+//!   solve cache (`DESIGN.md` §8).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +49,7 @@
 //! ```
 pub use revmax_core as core;
 pub use revmax_dataset as dataset;
+pub use revmax_engine as engine;
 pub use revmax_fim as fim;
 pub use revmax_ilp as ilp;
 pub use revmax_matching as matching;

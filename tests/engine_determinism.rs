@@ -1,0 +1,76 @@
+//! Differential suite for the sweep engine: the acceptance grid of
+//! `ISSUE 4` — **7 configurators × 3 cohorts × 2 θ × 2 seeds** — must
+//! produce a bit-identical report (canonical serialization of every cell:
+//! revenues, prices, bundle trees, fingerprints) at any engine fan-out,
+//! and must report a nonzero cache hit-rate. This extends the
+//! `DESIGN.md` §6 determinism contract to the orchestration layer; the
+//! CI matrix leg exercises it at `REVMAX_THREADS={1,8}` like the rest of
+//! the suite.
+
+use revmax::engine::{run_sweep, SweepSpec};
+use revmax::par::Threads;
+
+/// The acceptance grid: all seven registry methods, 3 activity cohorts
+/// (plus the whole-market cell), θ ∈ {0, 0.05}, and a deliberately
+/// repeated seed so the solve cache has duplicates to collapse.
+fn acceptance_spec(threads: Threads) -> SweepSpec {
+    let mut spec = SweepSpec::default(); // methods = all seven
+    spec.apply("scales", "small").unwrap();
+    spec.apply("cohorts", "3").unwrap();
+    spec.apply("thetas", "0,0.05").unwrap();
+    spec.apply("seeds", "2015,2015").unwrap();
+    spec.threads = threads;
+    spec
+}
+
+#[test]
+fn acceptance_grid_bit_identical_across_engine_fan_out() {
+    let reference = run_sweep(&acceptance_spec(Threads::Fixed(1))).unwrap();
+    // 7 methods × (1 whole + 3 cohorts) × 2 θ × 2 seeds.
+    assert_eq!(reference.cells.len(), 7 * 4 * 2 * 2);
+    assert!(
+        reference.hit_rate() > 0.0,
+        "the repeated seed must produce cache hits (got {} hits)",
+        reference.cache.hits
+    );
+    for threads in [2, 8] {
+        let got = run_sweep(&acceptance_spec(Threads::Fixed(threads))).unwrap();
+        assert_eq!(
+            got.canonical(),
+            reference.canonical(),
+            "sweep diverged at {threads} engine threads"
+        );
+        // Cache placement is deterministic too — a pure function of the
+        // spec, not of scheduling (the probe pass runs before any solve).
+        assert_eq!(got.cache, reference.cache, "cache counters diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn env_var_fan_out_does_not_change_results() {
+    // Whatever REVMAX_THREADS resolves to (the CI matrix pins 1 and 8),
+    // Auto must agree with an explicit Fixed(1) — same canonical report,
+    // same hit/miss counters, same fingerprints.
+    let auto = run_sweep(&acceptance_spec(Threads::Auto)).unwrap();
+    let one = run_sweep(&acceptance_spec(Threads::Fixed(1))).unwrap();
+    assert_eq!(auto.canonical(), one.canonical());
+    assert_eq!(auto.cache, one.cache);
+}
+
+#[test]
+fn cached_cells_are_bit_identical_to_their_source() {
+    let report = run_sweep(&acceptance_spec(Threads::Fixed(2))).unwrap();
+    // Every cached cell must have an uncached twin with the same
+    // (fingerprint, method) and identical canonical content.
+    for cell in report.cells.iter().filter(|c| c.cached) {
+        let source = report
+            .cells
+            .iter()
+            .find(|c| !c.cached && c.fingerprint == cell.fingerprint && c.method == cell.method)
+            .expect("cached cell without a solved source");
+        assert_eq!(cell.config_canon, source.config_canon);
+        assert_eq!(cell.revenue.to_bits(), source.revenue.to_bits());
+        assert_eq!(cell.gain.to_bits(), source.gain.to_bits());
+        assert!(cell.timing.is_none() && source.timing.is_some());
+    }
+}

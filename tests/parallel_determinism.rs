@@ -9,48 +9,16 @@
 //! only values excluded from the comparison: time is the one thing the
 //! thread count is *supposed* to change.
 
-use revmax::core::config::{OfferNode, Outcome};
 use revmax::core::prelude::*;
 use revmax::core::wsp;
 use revmax::dataset::AmazonBooksConfig;
-use std::fmt::Write as _;
+// The canonical bit-exact outcome serialization lives in the sweep
+// engine's report module (one copy — drift between two serializers would
+// blind one suite to divergence the other still sees).
+use revmax::engine::report::canon_outcome;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
 const SEEDS: std::ops::Range<u64> = 0..8;
-
-/// Canonical bit-exact serialization of an offer tree: item ids, the raw
-/// bits of every price, and the child structure.
-fn canon_node(n: &OfferNode, out: &mut String) {
-    write!(out, "[{:?}@{:016x}", n.bundle.items(), n.price.to_bits()).unwrap();
-    for c in &n.children {
-        canon_node(c, out);
-    }
-    out.push(']');
-}
-
-/// Canonical bit-exact serialization of an outcome: revenues, metrics,
-/// trace (revenue bits + bundle counts per iteration), and the full
-/// configuration.
-fn canon_outcome(o: &Outcome) -> String {
-    let mut s = String::new();
-    write!(
-        s,
-        "{}|rev:{:016x}|comp:{:016x}|cov:{:016x}|gain:{:016x}|",
-        o.algorithm,
-        o.revenue.to_bits(),
-        o.components_revenue.to_bits(),
-        o.coverage.to_bits(),
-        o.gain.to_bits()
-    )
-    .unwrap();
-    for p in o.trace.points() {
-        write!(s, "it{}:{:016x}:{}|", p.iteration, p.revenue.to_bits(), p.n_bundles).unwrap();
-    }
-    for r in &o.config.roots {
-        canon_node(r, &mut s);
-    }
-    s
-}
 
 /// The seven comparative methods of §6.2, from the single authoritative
 /// list in `revmax_core::algorithms::registry`.
