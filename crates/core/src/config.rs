@@ -133,6 +133,12 @@ impl BundleConfig {
     /// exponential — use [`BundleConfig::sampled_revenue`] there (as the
     /// paper does: "we average revenues across ten runs").
     pub fn expected_revenue(&self, market: &Market) -> f64 {
+        // Explicit `fold(0.0, ..)` rather than `Iterator::sum`: std's f64
+        // sum starts from -0.0, so an *empty* sum (an offer nobody is
+        // interested in) would evaluate to -0.0 and `price * -0.0` would
+        // leak a negative-zero revenue — observable once the serving
+        // layer compares per-consumer evaluations bit for bit. For
+        // non-empty sums the two folds are bit-identical.
         let mut scratch = market.scratch();
         match self.strategy {
             Strategy::Pure => self
@@ -141,15 +147,18 @@ impl BundleConfig {
                 .map(|r| {
                     let wtps = market.bundle_wtps(r.bundle.items(), &mut scratch);
                     let adoption = market.pricing_ctx().adoption;
-                    let buyers: f64 = wtps.iter().map(|&w| adoption.probability(w, r.price)).sum();
+                    let buyers: f64 = wtps
+                        .iter()
+                        .map(|&w| adoption.probability(w, r.price))
+                        .fold(0.0, |a, p| a + p);
                     r.price * buyers
                 })
-                .sum(),
+                .fold(0.0, |a, r| a + r),
             Strategy::Mixed => self
                 .roots
                 .iter()
                 .map(|r| mixed::evaluate_tree_deterministic(market, r, &mut scratch))
-                .sum(),
+                .fold(0.0, |a, r| a + r),
         }
     }
 
@@ -389,6 +398,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let s = c.sampled_revenue(&m, &mut rng, 3);
         assert!((s - c.expected_revenue(&m)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uninterested_market_evaluates_to_positive_zero() {
+        // Regression: `Iterator::sum` for f64 folds from -0.0, so a menu
+        // nobody is interested in evaluated to -0.0 (and so did every
+        // uninterested consumer's single-user-view evaluation) — a sign
+        // wart the serving layer's bitwise parity checks exposed.
+        let m = Market::new(WtpMatrix::from_rows(vec![vec![0.0], vec![0.0]]), Params::default());
+        for strategy in [Strategy::Pure, Strategy::Mixed] {
+            let c = BundleConfig { strategy, roots: vec![OfferNode::leaf(Bundle::single(0), 9.0)] };
+            let r = c.expected_revenue(&m);
+            assert_eq!(r.to_bits(), 0.0f64.to_bits(), "{strategy:?} yielded {r:?} (-0.0 wart)");
+        }
     }
 
     #[test]

@@ -313,7 +313,10 @@ pub fn evaluate_tree_deterministic(
     scratch: &mut Scratch,
 ) -> f64 {
     let states = eval_node(market, root, scratch, &mut Decide::Threshold);
-    states.iter().map(|s| s.paid).sum()
+    // fold(0.0, ..), not sum(): std's f64 sum identity is -0.0, which an
+    // empty state list (a tree nobody is interested in) would surface as
+    // a negative-zero revenue (see BundleConfig::expected_revenue).
+    states.iter().map(|s| s.paid).fold(0.0, |a, p| a + p)
 }
 
 /// Monte-Carlo evaluation: every adoption decision is drawn from the
@@ -326,7 +329,7 @@ pub fn evaluate_tree_sampled<R: Rng>(
 ) -> f64 {
     let mut decide = Decide::Sample(rng);
     let states = eval_node(market, root, scratch, &mut decide);
-    states.iter().map(|s| s.paid).sum()
+    states.iter().map(|s| s.paid).fold(0.0, |a, p| a + p)
 }
 
 /// Decision mode for tree evaluation.

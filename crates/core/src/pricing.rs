@@ -123,9 +123,11 @@ fn fold_best(
 }
 
 /// Optimize the price for consumers with bundle WTPs `values` (only
-/// positive entries matter; zero/negative entries are ignored).
+/// finite positive entries matter; zero/negative/non-finite entries are
+/// ignored — non-finite WTPs cannot enter through [`crate::wtp::CsrBuilder`],
+/// but this free-standing entry point accepts arbitrary slices).
 pub fn optimize(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
-    let positive: Vec<f64> = values.iter().copied().filter(|&w| w > 0.0).collect();
+    let positive: Vec<f64> = values.iter().copied().filter(|&w| w.is_finite() && w > 0.0).collect();
     if positive.is_empty() {
         return PricedOutcome::zero();
     }
@@ -142,8 +144,13 @@ pub fn optimize(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
 fn optimize_exact_step(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
     let alpha = ctx.adoption.alpha;
     // Sort raw WTPs descending; candidate k charges the k-th valuation.
+    // `total_cmp` (not `partial_cmp().unwrap()`): the solve must never
+    // panic on a stray NaN reaching a pricing call — non-finite WTPs are
+    // rejected at ingestion (`CsrBuilder::push`), and any NaN slipping in
+    // through the public `optimize` entry points is filtered there, but a
+    // sort comparator is the wrong place to enforce either.
     let mut sorted = values.to_vec();
-    sorted.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+    sorted.sort_unstable_by(|a, b| b.total_cmp(a));
     // Prefix sums of raw WTP for O(1) surplus.
     let mut prefix = Vec::with_capacity(sorted.len() + 1);
     prefix.push(0.0);
@@ -185,9 +192,19 @@ fn optimize_grid(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
     let alpha = ctx.adoption.alpha;
     let vmax = values.iter().fold(0.0f64, |m, &w| m.max(alpha * w));
     if vmax <= 0.0 {
+        // Every α·w ≤ 0 (e.g. a non-positive adoption bias constructed
+        // directly on the ctx): nothing can be charged.
         return PricedOutcome::zero();
     }
     let step = vmax / t as f64;
+    if step <= 0.0 || !step.is_finite() {
+        // Degenerate grid: `vmax / t` underflowed to zero (subnormal
+        // valuations with a large T) or overflowed. Without this guard the
+        // `v / step` bucket indices below would be NaN/∞ and the outcome
+        // garbage; the honest answer for a market whose valuations cannot
+        // even span one grid step is the zero outcome.
+        return PricedOutcome::zero();
+    }
     // Bucket b (1-based) holds consumers with valuation in [p_b, p_{b+1});
     // p_b = b*step. Bucket 0 holds valuations below p_1.
     let mut count = vec![0.0f64; t + 1];
@@ -468,6 +485,54 @@ mod tests {
             assert_eq!(par.price.to_bits(), seq.price.to_bits(), "threads={threads}");
             assert_eq!(par.revenue.to_bits(), seq.revenue.to_bits(), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn nan_wtp_entries_are_ignored_not_fatal() {
+        // Regression: `optimize_exact_step` used to sort with
+        // `partial_cmp(..).unwrap()`, so a single NaN reaching the pricing
+        // call panicked the whole solve. NaNs (and infinities) are now
+        // filtered at the entry point and the sort itself is total.
+        let out = optimize(&[f64::NAN, 5.0, 3.0], &step_ctx());
+        assert!((out.price - 3.0).abs() < 1e-12);
+        assert!((out.revenue - 6.0).abs() < 1e-12);
+        assert_eq!(out.expected_buyers, 2.0);
+        // All-NaN degenerates to the zero outcome, both modes.
+        for mode in [PriceMode::Exact, PriceMode::Grid] {
+            let out = optimize(&[f64::NAN, f64::NAN], &PricingCtx { mode, ..step_ctx() });
+            assert_eq!(out, PricedOutcome::zero());
+        }
+        // Infinite WTPs must not produce an infinite price either.
+        let out = optimize(&[f64::INFINITY, 4.0], &step_ctx());
+        assert!((out.price - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_matches_exact_on_all_nonpositive_market() {
+        // Regression: with every α·w ≤ 0 the grid's `step = vmax / t` was
+        // 0 and `v / step` produced NaN bucket indices. Both modes must
+        // agree on the zero outcome instead.
+        let values = [0.0, -2.0, -7.5];
+        let exact = optimize(&values, &step_ctx());
+        let grid = optimize(&values, &PricingCtx { mode: PriceMode::Grid, ..step_ctx() });
+        assert_eq!(exact, PricedOutcome::zero());
+        assert_eq!(grid, exact);
+        // Same degeneracy via a non-positive adoption bias constructed
+        // directly on the ctx (bypassing Params::validate).
+        let mut anti = step_ctx();
+        anti.adoption.alpha = -1.0;
+        anti.mode = PriceMode::Grid;
+        assert_eq!(optimize(&[3.0, 9.0], &anti), PricedOutcome::zero());
+    }
+
+    #[test]
+    fn grid_subnormal_underflow_returns_zero_outcome() {
+        // `vmax / t` can underflow to 0.0 for subnormal valuations and a
+        // large T; the guard must return the zero outcome, not NaN fields.
+        let ctx = PricingCtx { mode: PriceMode::Grid, levels: 1_000_000, ..step_ctx() };
+        let out = optimize(&[1e-320], &ctx);
+        assert_eq!(out, PricedOutcome::zero());
+        assert!(out.price.is_finite() && out.revenue.is_finite());
     }
 
     #[test]

@@ -181,11 +181,17 @@ impl CsrBuilder {
         self
     }
 
-    /// Add one entry. Panics on out-of-range ids or non-positive WTP.
+    /// Add one entry. Panics on out-of-range ids or a non-finite /
+    /// non-positive WTP — this is the single ingestion point of the whole
+    /// store, so a NaN can never reach the pricing hot paths, and the
+    /// error names the offending `(user, item)` pair.
     pub fn push(&mut self, user: u32, item: u32, wtp: f64) {
         assert!((user as usize) < self.n_users, "user {user} out of range");
         assert!((item as usize) < self.n_items, "item {item} out of range");
-        assert!(wtp.is_finite() && wtp > 0.0, "sparse WTP entries must be positive, got {wtp}");
+        assert!(
+            wtp.is_finite() && wtp > 0.0,
+            "WTP for (user {user}, item {item}) must be finite and positive, got {wtp}"
+        );
         self.triples.push((user, item, wtp));
     }
 
@@ -270,7 +276,10 @@ impl WtpMatrix {
         for (u, row) in dense.iter().enumerate() {
             assert_eq!(row.len(), n_items, "ragged WTP rows");
             for (i, &w) in row.iter().enumerate() {
-                assert!(w.is_finite() && w >= 0.0, "WTP must be finite and >= 0, got {w}");
+                assert!(
+                    w.is_finite() && w >= 0.0,
+                    "WTP for (user {u}, item {i}) must be finite and >= 0, got {w}"
+                );
                 if w > 0.0 {
                     b.push(u as u32, i as u32, w);
                 }
@@ -651,6 +660,25 @@ mod tests {
         b.push(2, 7, 1.0);
         b.push(3, 7, 2.5);
         b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "WTP for (user 4, item 2) must be finite and positive, got NaN")]
+    fn nan_wtp_rejected_at_ingestion_names_the_pair() {
+        // Regression: a NaN slipping past ingestion used to survive all
+        // the way to the pricing sort and panic the solve from deep inside
+        // `optimize_exact_step`. The builder is the single ingestion point
+        // and must reject it immediately, naming the offending pair.
+        let mut b = WtpMatrix::builder(6, 4);
+        b.push(1, 0, 3.0);
+        b.push(4, 2, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "WTP for (user 0, item 1) must be finite and positive")]
+    fn infinite_wtp_rejected_at_ingestion() {
+        let mut b = WtpMatrix::builder(1, 2);
+        b.push(0, 1, f64::INFINITY);
     }
 
     #[test]

@@ -6,12 +6,28 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+/// Checked id-space scaling: `count × factor` must stay addressable by
+/// `u32` ids. Verified **before** any allocation, so an absurd factor
+/// fails with a clear message naming it instead of attempting a
+/// multi-terabyte reserve (or, worse, the silent `as u32` truncation this
+/// replaces — cloned ids used to wrap past `u32::MAX` and collide at
+/// exactly the scales the serving benchmarks target).
+fn checked_scaled_ids(what: &str, count: usize, factor: usize) -> usize {
+    count.checked_mul(factor).filter(|&total| total <= u32::MAX as usize).unwrap_or_else(|| {
+        panic!(
+            "clone factor {factor} overflows u32 {what} ids: \
+                 {count} {what}s x {factor} copies > u32::MAX"
+        )
+    })
+}
+
 /// Clone every user `factor` times (Figure 7a's "multiplication factor":
 /// factor 2 = 200% = twice as many users, identical ratings per clone).
-/// `factor` must be ≥ 1; factor 1 returns an identical dataset.
+/// `factor` must be ≥ 1; factor 1 returns an identical dataset. Panics —
+/// before allocating — when the scaled user ids would not fit in `u32`.
 pub fn clone_users(data: &RatingsData, factor: usize) -> RatingsData {
     assert!(factor >= 1, "factor must be >= 1");
-    let n_users = data.n_users() * factor;
+    let n_users = checked_scaled_ids("user", data.n_users(), factor);
     let mut ratings = Vec::with_capacity(data.ratings().len() * factor);
     for copy in 0..factor {
         let offset = (copy * data.n_users()) as u32;
@@ -23,10 +39,11 @@ pub fn clone_users(data: &RatingsData, factor: usize) -> RatingsData {
 }
 
 /// Clone every item `factor` times (used for item-axis scalability beyond
-/// the base size; clones keep their price and their raters).
+/// the base size; clones keep their price and their raters). Panics —
+/// before allocating — when the scaled item ids would not fit in `u32`.
 pub fn clone_items(data: &RatingsData, factor: usize) -> RatingsData {
     assert!(factor >= 1, "factor must be >= 1");
-    let n_items = data.n_items() * factor;
+    let n_items = checked_scaled_ids("item", data.n_items(), factor);
     let mut ratings = Vec::with_capacity(data.ratings().len() * factor);
     for copy in 0..factor {
         let offset = (copy * data.n_items()) as u32;
@@ -221,6 +238,30 @@ mod tests {
             corr_total > unif_total,
             "correlated {corr_total} not denser than uniform {unif_total}"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "clone factor 4294967295 overflows u32 user ids")]
+    fn clone_users_rejects_id_overflow_before_allocating() {
+        // Regression: the id offset was computed as `(copy * n) as u32`,
+        // silently truncating past u32::MAX and colliding clone ids. The
+        // check is pure id arithmetic and fires before any allocation, so
+        // this test is cheap despite the absurd factor.
+        let d = RatingsData::new(2, 1, vec![Rating { user: 0, item: 0, stars: 5 }], vec![1.0]);
+        let _ = clone_users(&d, u32::MAX as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "clone factor 2147483648 overflows u32 item ids")]
+    fn clone_items_rejects_id_overflow_before_allocating() {
+        let d = RatingsData::new(1, 3, vec![Rating { user: 0, item: 2, stars: 4 }], vec![1.0; 3]);
+        let _ = clone_items(&d, (u32::MAX as usize).div_ceil(2));
+    }
+
+    #[test]
+    fn clone_users_accepts_the_largest_in_range_factor_check() {
+        // The guard is exact: count × factor == u32::MAX is still legal.
+        assert_eq!(checked_scaled_ids("user", 3, u32::MAX as usize / 3), 4_294_967_295);
     }
 
     #[test]

@@ -67,6 +67,67 @@ pub fn activity_labels(market: &Market, k: usize) -> Vec<u32> {
     labels
 }
 
+/// Build the engine's canonical market over a ratings dataset: paper
+/// defaults with the given θ, inner solves pinned to 1 thread
+/// (`DESIGN.md` §8's no-nested-fan-out rule). This is the **single**
+/// construction recipe shared by the sweep executor's Market stage,
+/// [`rebuild_cell_market`], and the serving benches/tests — the §8.2
+/// fingerprint check in `rebuild_cell_market` relies on every producer
+/// and consumer of a cell market using exactly this.
+pub fn market_from_data(data: &revmax_dataset::RatingsData, theta: f64) -> Market {
+    let params = Params::default().with_theta(theta).with_threads(Threads::Fixed(1));
+    let wtp = WtpMatrix::from_ratings(
+        data.n_users(),
+        data.n_items(),
+        data.triples(),
+        data.prices(),
+        params.lambda,
+    );
+    Market::new(wtp, params)
+}
+
+/// Rebuild the exact (sub-)market a sweep cell was solved on: regenerate
+/// the cell's dataset from its `(scale, seed)`, apply its θ, and — for a
+/// cohort cell — re-partition with [`activity_labels`] under the spec's
+/// `cohorts` knob. The rebuilt market's content fingerprint is verified
+/// against the one recorded in the cell, so a drifted spec (or a report
+/// from a different generator version) fails loudly instead of serving
+/// the wrong consumers. This is the market half of the serve layer's
+/// "sweep cell → `MenuIndex` in one call" wiring (`DESIGN.md` §9).
+pub fn rebuild_cell_market(spec: &SweepSpec, cell: &CellResult) -> Result<Market, String> {
+    let data = cell.scale.config().generate(cell.seed);
+    let market = market_from_data(&data, cell.theta);
+    let market = match cell.cohort {
+        Cohort::Whole => market,
+        Cohort::Seg(k) => {
+            if spec.cohorts < 1 || market.n_users() < spec.cohorts {
+                return Err(format!(
+                    "cell is cohort c{k} but the spec partitions {} consumers into {} cohorts",
+                    market.n_users(),
+                    spec.cohorts
+                ));
+            }
+            let views = market.partition_by(&activity_labels(&market, spec.cohorts));
+            views
+                .get(k as usize)
+                .ok_or_else(|| {
+                    format!("cohort c{k} out of range for a {}-cohort spec", spec.cohorts)
+                })?
+                .market()
+                .clone()
+        }
+    };
+    if market.fingerprint() != cell.fingerprint {
+        return Err(format!(
+            "rebuilt market fingerprint {:016x} does not match the cell's {:016x} \
+             (spec/report mismatch?)",
+            market.fingerprint(),
+            cell.fingerprint
+        ));
+    }
+    Ok(market)
+}
+
 /// Run a sweep: expand the DAG, execute its stages on `revmax-par`, and
 /// assemble the report in cell order. See the crate docs for the
 /// determinism and caching guarantees.
@@ -115,16 +176,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, String> {
         .collect();
     let markets: Vec<Market> = par_index_map(threads, market_params.len(), |k| {
         let (ds, theta) = market_params[k];
-        let data = &datasets[ds];
-        let params = Params::default().with_theta(theta).with_threads(Threads::Fixed(1));
-        let wtp = WtpMatrix::from_ratings(
-            data.n_users(),
-            data.n_items(),
-            data.triples(),
-            data.prices(),
-            params.lambda,
-        );
-        Market::new(wtp, params)
+        market_from_data(&datasets[ds], theta)
     });
 
     if spec.cohorts >= 1 {
@@ -251,6 +303,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, String> {
                 coverage: s.outcome.coverage,
                 gain: s.outcome.gain,
                 n_bundles: s.outcome.config.n_bundles(),
+                config: s.outcome.config.clone(),
                 config_canon: canons[slot].clone(),
                 cached,
                 timing: if cached { None } else { Some(s.timing) },
@@ -382,6 +435,47 @@ mod tests {
         spec.apply("cohorts", "10000").unwrap();
         let err = run_sweep(&spec).unwrap_err();
         assert!(err.contains("cohorts"), "{err}");
+    }
+
+    #[test]
+    fn cells_carry_their_winning_config() {
+        let mut spec = tiny_spec();
+        spec.apply("seeds", "2015,2015").unwrap();
+        let report = run_sweep(&spec).unwrap();
+        for c in &report.cells {
+            c.config.validate(c.n_items);
+            assert!(!c.config.roots.is_empty());
+        }
+        // A cached cell's config is a faithful clone of its source's.
+        assert_eq!(report.cells[2].config, report.cells[0].config);
+    }
+
+    #[test]
+    fn rebuild_cell_market_round_trips_whole_and_cohort_cells() {
+        let mut spec = tiny_spec();
+        spec.apply("cohorts", "2").unwrap();
+        let report = run_sweep(&spec).unwrap();
+        for cell in &report.cells {
+            let market = rebuild_cell_market(&spec, cell).unwrap();
+            assert_eq!(market.fingerprint(), cell.fingerprint);
+            assert_eq!(market.n_users(), cell.n_users);
+            assert_eq!(market.n_items(), cell.n_items);
+        }
+    }
+
+    #[test]
+    fn rebuild_cell_market_rejects_a_drifted_spec() {
+        let mut spec = tiny_spec();
+        spec.apply("cohorts", "2").unwrap();
+        let report = run_sweep(&spec).unwrap();
+        let cohort_cell =
+            report.cells.iter().find(|c| c.cohort != Cohort::Whole).expect("cohort cell");
+        // Re-partitioning under a different cohort count yields a
+        // different sub-market; the fingerprint check must catch it.
+        let mut drifted = spec.clone();
+        drifted.apply("cohorts", "3").unwrap();
+        let err = rebuild_cell_market(&drifted, cohort_cell).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
     }
 
     #[test]

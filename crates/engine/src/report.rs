@@ -7,7 +7,7 @@
 use crate::cache::CacheStats;
 use crate::dag::{Cohort, DagSummary};
 use crate::spec::ScaleSpec;
-use revmax_core::config::{OfferNode, Outcome};
+use revmax_core::config::{BundleConfig, OfferNode, Outcome};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -54,6 +54,10 @@ pub struct CellResult {
     pub coverage: f64,
     pub gain: f64,
     pub n_bundles: usize,
+    /// The winning configuration itself — what the serving layer compiles
+    /// into a `MenuIndex` (`revmax-serve`, `DESIGN.md` §9). Cached cells
+    /// carry a clone of their source cell's configuration.
+    pub config: BundleConfig,
     /// Bit-exact serialization of the solved configuration
     /// ([`canon_outcome`]).
     pub config_canon: String,

@@ -1,0 +1,486 @@
+//! Batched menu queries: per-user adoption assignment and expected
+//! revenue, evaluated user-major against the compiled [`MenuIndex`].
+//!
+//! ## Semantics (`DESIGN.md` §9)
+//!
+//! Every query evaluates the §4.1 adoption model exactly as the solver
+//! does, per user:
+//!
+//! * **Pure** menus: a consumer considers each top-level offer
+//!   independently; their expected payment for offer `r` is
+//!   `p_r · P(adopt | w_{u,r}, p_r)` — exact under step adoption, the
+//!   expectation under a soft sigmoid. The reported offer set is the
+//!   threshold (modal) adoption set `{r : α·w − p + ε ≥ 0}`.
+//! * **Mixed** menus: the solver's incremental-upgrade policy
+//!   ([`revmax_core::mixed`]): leaves adopt bottom-up, holdings combine in
+//!   child order, and a consumer upgrades to a parent exactly when the
+//!   implicit add-on price does not exceed the add-on WTP. This is the
+//!   same deterministic (threshold) evaluation
+//!   [`revmax_core::config::BundleConfig::expected_revenue`] uses — exact
+//!   under step adoption, the modal outcome under a soft sigmoid.
+//!
+//! ## Determinism
+//!
+//! Per-user results are **bit-identical to solver-side evaluation**: the
+//! postings scatter accumulates each offer's bundle sum in the same
+//! (ascending-item) order as [`Market::bundle_user_sums`], and the tree
+//! walk reproduces the solver's fold order, so
+//! `assign(&[u])[0].payment` equals
+//! `config.expected_revenue(&market.view(None, Some(&[u])))` to the bit
+//! (pinned by `crates/serve/tests/proptest_serve.rs`).
+//!
+//! Batched totals follow the §6 contract: users are split at **fixed
+//! chunk boundaries** (a pure function of the batch length, via
+//! [`revmax_par::effective_chunk_size`]) and chunk partials reduce **in
+//! chunk order** on the calling thread — so `expected_revenue` is
+//! bit-identical at any thread count, equal to the sequential chunked
+//! fold of the per-user payments.
+
+use crate::index::{MenuIndex, MenuStore};
+use revmax_core::config::Strategy;
+use revmax_core::market::Market;
+use revmax_par::{effective_chunk_size, par_chunks_map_reduce, par_index_map};
+
+/// One consumer's menu outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// The queried consumer.
+    pub user: u32,
+    /// Expected payment across the menu (exact in the step regime; the
+    /// expectation for pure / modal outcome for mixed under a sigmoid).
+    pub payment: f64,
+    /// Offer node ids held under the threshold (modal) outcome, in menu
+    /// order. Resolve them via [`MenuIndex::items`] / [`MenuIndex::price`].
+    pub offers: Vec<u32>,
+}
+
+/// One consumer's holdings while walking a mixed offer tree — the
+/// single-user mirror of [`revmax_core::mixed::UserState`].
+#[derive(Debug, Clone, Copy)]
+struct Hold {
+    /// Raw Σ of item WTPs over held items.
+    sum: f64,
+    /// Amount paid.
+    paid: f64,
+    /// Number of held items.
+    count: u32,
+}
+
+/// Reusable per-worker buffers: the per-node bundle-sum accumulator, the
+/// touched-node reset list, and the tree-walk state stack.
+struct ServeScratch {
+    acc: Vec<f64>,
+    touched: Vec<u32>,
+    stack: Vec<(Option<Hold>, Vec<u32>)>,
+}
+
+impl ServeScratch {
+    fn new(store: &MenuStore) -> Self {
+        ServeScratch { acc: vec![0.0; store.prices.len()], touched: Vec::new(), stack: Vec::new() }
+    }
+}
+
+impl MenuIndex {
+    /// Batched assignment: for every queried user, which menu entries they
+    /// adopt (threshold outcome) and their expected payment. Users are
+    /// evaluated independently over fixed-size blocks
+    /// ([`revmax_par::effective_chunk_size`]) fanned out on `revmax-par`;
+    /// results are returned in query order and are bit-identical at any
+    /// thread count.
+    pub fn assign(&self, users: &[u32]) -> Vec<Assignment> {
+        let store = &*self.store;
+        if users.is_empty() {
+            return Vec::new();
+        }
+        let chunk = effective_chunk_size(users.len(), 0);
+        let n_chunks = users.len().div_ceil(chunk);
+        let parts: Vec<Vec<Assignment>> = par_index_map(self.threads, n_chunks, |k| {
+            let lo = k * chunk;
+            let hi = (lo + chunk).min(users.len());
+            let mut scratch = ServeScratch::new(store);
+            users[lo..hi]
+                .iter()
+                .map(|&u| {
+                    let (payment, offers) = eval_user(store, &mut scratch, u, true);
+                    Assignment { user: u, payment, offers }
+                })
+                .collect()
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Batched expected revenue of the menu over the queried users: the
+    /// fixed-chunk ordered fold of the per-user expected payments (each
+    /// bit-identical to solver-side evaluation of that single consumer).
+    /// Bit-identical at any thread count (`DESIGN.md` §6/§9).
+    pub fn expected_revenue(&self, users: &[u32]) -> f64 {
+        let store = &*self.store;
+        par_chunks_map_reduce(
+            self.threads,
+            users,
+            0,
+            |chunk| {
+                let mut scratch = ServeScratch::new(store);
+                let mut total = 0.0;
+                for &u in chunk {
+                    total += eval_user(store, &mut scratch, u, false).0;
+                }
+                total
+            },
+            0.0f64,
+            |a, s| a + s,
+        )
+    }
+
+    /// [`MenuIndex::expected_revenue`] over every consumer of the
+    /// compiled market.
+    pub fn expected_revenue_all(&self) -> f64 {
+        self.expected_revenue(&self.all_users())
+    }
+}
+
+/// Evaluate one consumer against the menu. Returns their expected payment
+/// and (when `collect` is set) the threshold-held offer node ids. The
+/// arithmetic mirrors the solver evaluation operation for operation — see
+/// the module docs for why that yields bit-identical results.
+fn eval_user(
+    store: &MenuStore,
+    scratch: &mut ServeScratch,
+    user: u32,
+    collect: bool,
+) -> (f64, Vec<u32>) {
+    assert!(
+        (user as usize) < store.n_users,
+        "user {user} out of range for a {}-consumer market",
+        store.n_users
+    );
+    // Scatter the user's WTP row through the item→offer postings: each
+    // touched node's bundle sum accumulates in ascending item order,
+    // matching the solver's column scatter exactly.
+    let row = store.wtp.row(user);
+    for (i, w) in row.iter() {
+        let (lo, hi) = (store.post_indptr[i as usize], store.post_indptr[i as usize + 1]);
+        for &n in &store.post_nodes[lo..hi] {
+            let slot = &mut scratch.acc[n as usize];
+            if *slot == 0.0 {
+                scratch.touched.push(n);
+            }
+            *slot += w;
+        }
+    }
+
+    let adoption = &store.adoption;
+    let params = &store.params;
+    let node_size = |n: u32| store.node_indptr[n as usize + 1] - store.node_indptr[n as usize];
+    let mut payment = 0.0f64;
+    let mut offers: Vec<u32> = Vec::new();
+    match store.strategy {
+        Strategy::Pure => {
+            // Independent take-it-or-leave-it offers. The zero-sum skip
+            // is bit-safe because the solver never sees zero-sum users
+            // either: `bundle_user_sums` excludes them from an offer's
+            // consumer list outright (crucial under a soft sigmoid, where
+            // an *included* zero-WTP consumer would contribute a positive
+            // probability, not 0.0), and a single-user view of an
+            // uninterested consumer yields `price * 0.0 = +0.0`, which
+            // `x + 0.0 = x` makes equivalent to skipping.
+            for &root in &store.roots {
+                let s = scratch.acc[root as usize];
+                if s == 0.0 {
+                    continue;
+                }
+                let price = store.prices[root as usize];
+                let w = params.set_wtp(s, node_size(root));
+                payment += price * adoption.probability(w, price);
+                if collect && adoption.margin(w, price) >= 0.0 {
+                    offers.push(root);
+                }
+            }
+        }
+        Strategy::Mixed => {
+            // Bottom-up incremental-upgrade walk of each interested tree.
+            // Post-order layout: one forward scan per subtree range, the
+            // stack holding each node's (holdings, held-offer) state.
+            for &root in &store.roots {
+                if scratch.acc[root as usize] == 0.0 {
+                    continue; // no WTP on any item of this tree
+                }
+                debug_assert!(scratch.stack.is_empty());
+                for n in store.subtree_start[root as usize]..=root {
+                    let k = store.n_children[n as usize] as usize;
+                    let price = store.prices[n as usize];
+                    let size = node_size(n);
+                    let state = if k == 0 {
+                        let s = scratch.acc[n as usize];
+                        if s == 0.0 {
+                            (None, Vec::new())
+                        } else {
+                            let w = params.set_wtp(s, size);
+                            if adoption.margin(w, price) >= 0.0 {
+                                let held = Hold { sum: s, paid: price, count: size as u32 };
+                                (Some(held), if collect { vec![n] } else { Vec::new() })
+                            } else {
+                                (None, Vec::new())
+                            }
+                        }
+                    } else {
+                        // Combine the children's holdings in child order —
+                        // the solver's left-to-right merge_states fold.
+                        let base = scratch.stack.len() - k;
+                        let mut combined = Hold { sum: 0.0, paid: 0.0, count: 0 };
+                        let mut any = false;
+                        let mut held_offers: Vec<u32> = Vec::new();
+                        for (h, v) in scratch.stack.drain(base..) {
+                            if let Some(h) = h {
+                                combined.sum += h.sum;
+                                combined.paid += h.paid;
+                                combined.count += h.count;
+                                any = true;
+                                if collect {
+                                    held_offers.extend(v);
+                                }
+                            }
+                        }
+                        let s_b = scratch.acc[n as usize];
+                        if s_b == 0.0 {
+                            (None, Vec::new())
+                        } else {
+                            let (s_held, q, c_held) = if any {
+                                (combined.sum, combined.paid, combined.count as usize)
+                            } else {
+                                (0.0, 0.0, 0)
+                            };
+                            let addon_count = size.saturating_sub(c_held);
+                            let addon_wtp =
+                                params.set_wtp((s_b - s_held).max(0.0), addon_count.max(1));
+                            let margin =
+                                adoption.alpha * addon_wtp - (price - q) + adoption.epsilon;
+                            if margin >= 0.0 {
+                                let held = Hold { sum: s_b, paid: price, count: size as u32 };
+                                (Some(held), if collect { vec![n] } else { Vec::new() })
+                            } else if any {
+                                (Some(combined), held_offers)
+                            } else {
+                                (None, Vec::new())
+                            }
+                        }
+                    };
+                    scratch.stack.push(state);
+                }
+                let (state, held_offers) = scratch.stack.pop().expect("root state");
+                if let Some(h) = state {
+                    payment += h.paid;
+                    if collect {
+                        offers.extend(held_offers);
+                    }
+                }
+            }
+        }
+    }
+
+    // Reset the accumulator for the next user.
+    for &n in &scratch.touched {
+        scratch.acc[n as usize] = 0.0;
+    }
+    scratch.touched.clear();
+    (payment, offers)
+}
+
+/// Solver-side single-consumer reference evaluation: the menu's expected
+/// revenue restricted to one user, computed **entirely by core**
+/// ([`revmax_core::config::BundleConfig::expected_revenue`] on a
+/// single-user [`Market::view`]). The parity suites compare serve results
+/// against this bit for bit; it is exported so benches and acceptance
+/// tests can reuse the same oracle.
+pub fn solver_user_revenue(
+    market: &Market,
+    config: &revmax_core::config::BundleConfig,
+    user: u32,
+) -> f64 {
+    let view = market.view(None, Some(&[user]));
+    config.expected_revenue(&view)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revmax_core::bundle::Bundle;
+    use revmax_core::config::{BundleConfig, OfferNode};
+    use revmax_core::params::Params;
+    use revmax_core::wtp::WtpMatrix;
+
+    fn table1() -> Market {
+        let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
+        Market::new(w, Params::default().with_theta(-0.05))
+    }
+
+    fn components() -> BundleConfig {
+        BundleConfig {
+            strategy: Strategy::Pure,
+            roots: vec![
+                OfferNode::leaf(Bundle::single(0), 8.0),
+                OfferNode::leaf(Bundle::single(1), 11.0),
+            ],
+        }
+    }
+
+    fn mixed_tree() -> BundleConfig {
+        // Table 1's §4.2 mixed menu: components at $8/$11, bundle at $12.
+        BundleConfig {
+            strategy: Strategy::Mixed,
+            roots: vec![OfferNode {
+                bundle: Bundle::new(vec![0, 1]),
+                price: 12.0,
+                children: vec![
+                    OfferNode::leaf(Bundle::single(0), 8.0),
+                    OfferNode::leaf(Bundle::single(1), 11.0),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn pure_assignments_match_table1() {
+        let m = table1();
+        let idx = MenuIndex::compile(&m, &components());
+        let assignments = idx.assign(&idx.all_users());
+        // u1 and u2 buy A at $8; u3 buys B at $11 (Table 1, Components).
+        assert_eq!(assignments.len(), 3);
+        assert_eq!(assignments[0].offers, vec![0]);
+        assert!((assignments[0].payment - 8.0).abs() < 1e-12);
+        assert_eq!(assignments[1].offers, vec![0]);
+        assert!((assignments[1].payment - 8.0).abs() < 1e-12);
+        assert_eq!(assignments[2].offers, vec![1]);
+        assert!((assignments[2].payment - 11.0).abs() < 1e-12);
+        assert!((idx.expected_revenue_all() - 27.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_assignments_follow_the_upgrade_policy() {
+        let m = table1();
+        let idx = MenuIndex::compile(&m, &mixed_tree());
+        let a = idx.assign(&idx.all_users());
+        // u1: holds A ($8), add-on B worth 4 ≥ implicit price 4 → upgrades
+        // to the $12 bundle. u2: holds A, add-on worth 2 < 4 → stays at $8.
+        // u3: holds B ($11), add-on A worth 5 ≥ implicit price 1 → upgrades.
+        assert_eq!(a[0].offers, vec![2]);
+        assert!((a[0].payment - 12.0).abs() < 1e-12);
+        assert_eq!(a[1].offers, vec![0]);
+        assert!((a[1].payment - 8.0).abs() < 1e-12);
+        assert_eq!(a[2].offers, vec![2]);
+        assert!((a[2].payment - 12.0).abs() < 1e-12);
+        // Σ = 32, the §4.2 mixed revenue of Table 1.
+        assert!((idx.expected_revenue_all() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_user_payments_equal_solver_side_evaluation_bitwise() {
+        let m = table1();
+        for config in [components(), mixed_tree()] {
+            let idx = MenuIndex::compile(&m, &config);
+            for u in 0..3u32 {
+                let serve = idx.assign(&[u])[0].payment;
+                let solver = solver_user_revenue(&m, &config, u);
+                assert_eq!(serve.to_bits(), solver.to_bits(), "user {u}");
+            }
+            // Whole-batch total matches the solver's whole-market menu
+            // evaluation (reassociation-tolerant comparison).
+            let total = idx.expected_revenue_all();
+            assert!((total - config.expected_revenue(&m)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn batched_revenue_is_bit_identical_at_any_thread_count() {
+        let m = table1();
+        let idx = MenuIndex::compile(&m, &mixed_tree());
+        let users = idx.all_users();
+        let base = idx.clone().with_threads(1).expected_revenue(&users);
+        for threads in [2, 3, 8] {
+            let t = idx.clone().with_threads(threads);
+            assert_eq!(t.expected_revenue(&users).to_bits(), base.to_bits(), "threads={threads}");
+            assert_eq!(t.assign(&users), idx.clone().with_threads(1).assign(&users));
+        }
+    }
+
+    #[test]
+    fn uninterested_and_repeated_users_are_fine() {
+        let w = WtpMatrix::from_triples(4, 2, vec![(0, 0, 9.0), (2, 1, 6.0)], None);
+        let m = Market::new(w, Params::default());
+        let idx = MenuIndex::compile(&m, &components());
+        // Users 1 and 3 rated nothing: zero payment, no offers.
+        let a = idx.assign(&[1, 3]);
+        assert!(a.iter().all(|x| x.payment == 0.0 && x.offers.is_empty()));
+        // Batches may repeat users; each occurrence is evaluated afresh.
+        let r = idx.expected_revenue(&[0, 0, 2]);
+        let one = idx.expected_revenue(&[0]);
+        assert!((r - (2.0 * one + idx.expected_revenue(&[2]))).abs() < 1e-9);
+        assert_eq!(idx.expected_revenue(&[]), 0.0);
+        assert!(idx.assign(&[]).is_empty());
+    }
+
+    #[test]
+    fn sigmoid_pure_payments_are_expectations() {
+        let w = WtpMatrix::from_rows(vec![vec![10.0, 0.0], vec![0.0, 10.0]]);
+        let m = Market::new(w, Params::default().with_gamma(1.0));
+        let config = BundleConfig {
+            strategy: Strategy::Pure,
+            roots: vec![
+                OfferNode::leaf(Bundle::single(0), 10.0),
+                OfferNode::leaf(Bundle::single(1), 5.0),
+            ],
+        };
+        let idx = MenuIndex::compile(&m, &config);
+        let a = idx.assign(&idx.all_users());
+        // u0 at p = w = 10: P ≈ 0.5 (ε nudges it just above) → expected
+        // payment ≈ 5; still a modal adopter.
+        assert!((a[0].payment - 5.0).abs() < 0.01);
+        assert_eq!(a[0].offers, vec![0]);
+        // u1 at p 5 < w 10: P ≈ 0.993 → expected payment ≈ 4.97.
+        assert!(a[1].payment < 5.0 && a[1].payment > 4.9);
+        for u in 0..2u32 {
+            let solver = solver_user_revenue(&m, &config, u);
+            assert_eq!(idx.assign(&[u])[0].payment.to_bits(), solver.to_bits());
+        }
+    }
+
+    #[test]
+    fn deep_tree_evaluates_bottom_up() {
+        // The ((A,B),C) case-study shape from core's config tests.
+        let w = WtpMatrix::from_rows(vec![vec![10.0, 10.0, 2.0], vec![1.0, 1.0, 9.0]]);
+        let m = Market::new(w, Params::default());
+        let tree = OfferNode {
+            bundle: Bundle::new(vec![0, 1, 2]),
+            price: 11.0,
+            children: vec![
+                OfferNode {
+                    bundle: Bundle::new(vec![0, 1]),
+                    price: 10.0,
+                    children: vec![
+                        OfferNode::leaf(Bundle::single(0), 8.0),
+                        OfferNode::leaf(Bundle::single(1), 8.0),
+                    ],
+                },
+                OfferNode::leaf(Bundle::single(2), 7.0),
+            ],
+        };
+        let config = BundleConfig { strategy: Strategy::Mixed, roots: vec![tree] };
+        let idx = MenuIndex::compile(&m, &config);
+        let a = idx.assign(&idx.all_users());
+        // u0 consolidates {A,B} then upgrades to the triple at $11;
+        // u1 stays on C at $7 (see config.rs::three_level_mixed_tree...).
+        assert!((a[0].payment - 11.0).abs() < 1e-9);
+        assert_eq!(a[0].offers, vec![idx.roots()[0]]);
+        assert!((a[1].payment - 7.0).abs() < 1e-9);
+        assert_eq!(a[1].offers.len(), 1);
+        assert_eq!(idx.items(a[1].offers[0]), &[2]);
+        assert!((idx.expected_revenue_all() - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "user 9 out of range")]
+    fn out_of_range_user_is_rejected() {
+        let idx = MenuIndex::compile(&table1(), &components());
+        idx.expected_revenue(&[9]);
+    }
+}

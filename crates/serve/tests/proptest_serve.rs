@@ -1,0 +1,134 @@
+//! Property tests for the serving layer (`DESIGN.md` §9):
+//!
+//! 1. For random markets and solver-produced menus (pure and mixed,
+//!    step and sigmoid γ), every consumer's served payment is
+//!    **bit-identical** to the solver-side menu evaluation of that
+//!    consumer (`BundleConfig::expected_revenue` on a single-user
+//!    [`revmax_core::market::Market::view`]).
+//! 2. Batched `expected_revenue(all_users)` is **bit-identical at 1/2/8
+//!    serve threads** and equals the fixed-chunk ordered fold of the
+//!    per-user solver-side payments — the §6 contract applied to serving.
+//! 3. The batched total agrees with the solver's whole-market menu
+//!    evaluation up to summation reassociation (tolerance-checked).
+
+use proptest::prelude::*;
+use revmax_core::algorithms::by_name;
+use revmax_core::market::Market;
+use revmax_core::params::{Params, Threads};
+use revmax_core::wtp::WtpMatrix;
+use revmax_par::effective_chunk_size;
+use revmax_serve::{solver_user_revenue, MenuIndex};
+
+/// A random dense WTP matrix (entries 0 with ~3/8 probability) plus θ.
+fn arb_dense() -> impl Strategy<Value = (Vec<Vec<f64>>, f64)> {
+    fn cell() -> impl Strategy<Value = f64> {
+        (0u32..80u32).prop_map(|raw| if raw < 30 { 0.0 } else { raw as f64 * 0.25 })
+    }
+    let dims = (2usize..8, 1usize..7);
+    dims.prop_flat_map(move |(m, n)| {
+        (proptest::collection::vec(proptest::collection::vec(cell(), n..=n), m..=m), -20i32..=20)
+            .prop_map(|(rows, theta)| (rows, theta as f64 / 100.0))
+    })
+}
+
+fn market_of(dense: &[Vec<f64>], theta: f64, gamma: f64) -> Option<Market> {
+    if dense.iter().all(|row| row.iter().all(|&w| w == 0.0)) {
+        return None; // empty markets have no menu to serve
+    }
+    let params =
+        Params::default().with_theta(theta).with_gamma(gamma).with_threads(Threads::Fixed(1));
+    Some(Market::new(WtpMatrix::from_rows(dense.to_vec()), params))
+}
+
+/// The configurators exercised per case: a pure and a mixed method so
+/// both serving semantics (independent offers, upgrade trees) run.
+const METHODS: [&str; 3] = ["Components", "Pure Greedy", "Mixed Greedy"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn served_payments_equal_solver_side_evaluation_bitwise(
+        (dense, theta) in arb_dense(),
+        sigmoid in 0u8..2,
+    ) {
+        // Step regime by default; soft sigmoid on half the cases.
+        let gamma = if sigmoid == 1 { 1.5 } else { 1e6 };
+        let Some(market) = market_of(&dense, theta, gamma) else { return };
+        for method in METHODS {
+            let outcome = by_name(method).unwrap().run(&market);
+            let index = MenuIndex::compile(&market, &outcome.config);
+            let users = index.all_users();
+            let assignments = index.assign(&users);
+            prop_assert_eq!(assignments.len(), users.len());
+
+            // (1) Per-user bitwise parity with the solver-side menu
+            // evaluation of that single consumer.
+            for a in &assignments {
+                let solver = solver_user_revenue(&market, &outcome.config, a.user);
+                prop_assert_eq!(
+                    a.payment.to_bits(),
+                    solver.to_bits(),
+                    "{}: user {} served {} vs solver {}",
+                    method, a.user, a.payment, solver
+                );
+            }
+
+            // (2) The batched total is the fixed-chunk ordered fold of the
+            // per-user payments, bit-identical at 1/2/8 serve threads.
+            let chunk = effective_chunk_size(users.len(), 0);
+            let reference: f64 = assignments
+                .chunks(chunk)
+                .map(|c| c.iter().map(|a| a.payment).sum::<f64>())
+                .fold(0.0f64, |acc, s| acc + s);
+            for threads in [1usize, 2, 8] {
+                let served = index.clone().with_threads(threads).expected_revenue(&users);
+                prop_assert_eq!(
+                    served.to_bits(),
+                    reference.to_bits(),
+                    "{} at {} threads: {} vs chunked fold {}",
+                    method, threads, served, reference
+                );
+            }
+
+            // (3) ... and agrees with the solver's whole-market menu
+            // evaluation up to summation reassociation.
+            let solver_total = outcome.config.expected_revenue(&market);
+            let tol = 1e-9 * solver_total.abs().max(1.0);
+            prop_assert!(
+                (index.expected_revenue(&users) - solver_total).abs() <= tol,
+                "{}: served {} vs solver {}",
+                method, index.expected_revenue(&users), solver_total
+            );
+        }
+    }
+
+    #[test]
+    fn subset_batches_serve_any_user_mix(
+        (dense, theta) in arb_dense(),
+        mask in 1u32..255,
+    ) {
+        let Some(market) = market_of(&dense, theta, 1e6) else { return };
+        let outcome = by_name("Mixed Greedy").unwrap().run(&market);
+        let index = MenuIndex::compile(&market, &outcome.config);
+        // An arbitrary (non-contiguous, possibly repeating) batch.
+        let mut users: Vec<u32> =
+            (0..market.n_users() as u32).filter(|u| mask & (1 << (u % 8)) != 0).collect();
+        users.extend(users.clone()); // repeats are legal
+        let total = index.expected_revenue(&users);
+        for threads in [2usize, 8] {
+            let t = index.clone().with_threads(threads);
+            prop_assert_eq!(t.expected_revenue(&users).to_bits(), total.to_bits());
+        }
+        // Assignments line up one-to-one with the queried batch.
+        let assignments = index.assign(&users);
+        prop_assert_eq!(assignments.len(), users.len());
+        for (a, &u) in assignments.iter().zip(&users) {
+            prop_assert_eq!(a.user, u);
+            prop_assert_eq!(
+                a.payment.to_bits(),
+                solver_user_revenue(&market, &outcome.config, u).to_bits()
+            );
+        }
+    }
+}

@@ -29,6 +29,10 @@
 //!   expand into a job DAG, execute on `par` under the same determinism
 //!   contract, and collapse repeated cells through a fingerprint-keyed
 //!   solve cache (`DESIGN.md` §8).
+//! * [`serve`] ([`revmax_serve`]) — the batched menu-serving layer: a
+//!   solved configuration compiles into a flat, `Arc`-shared `MenuIndex`
+//!   answering `assign` / `expected_revenue` queries for millions of
+//!   consumers, bit-identically at any thread count (`DESIGN.md` §9).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +58,7 @@ pub use revmax_fim as fim;
 pub use revmax_ilp as ilp;
 pub use revmax_matching as matching;
 pub use revmax_par as par;
+pub use revmax_serve as serve;
 
 /// Library version, mirroring the workspace version.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
