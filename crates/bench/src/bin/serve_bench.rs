@@ -95,7 +95,20 @@ fn parse_args() -> Args {
             }
             "repeat" => args.repeat = parse_num::<usize>(key, value).max(1),
             "json" => args.json = Some(value.into()),
-            other => fail(&format!("unknown key '{other}'")),
+            other => fail(&revmax_bench::cli::unknown_key_msg(
+                other,
+                &[
+                    "scale",
+                    "seed",
+                    "theta",
+                    "method",
+                    "factor",
+                    "target_users",
+                    "threads",
+                    "repeat",
+                    "json",
+                ],
+            )),
         }
     }
     args

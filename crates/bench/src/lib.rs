@@ -6,6 +6,7 @@
 //! CSV/markdown report writers.
 
 pub mod args;
+pub mod cli;
 pub mod data;
 pub mod report;
 pub mod runstats;

@@ -71,6 +71,7 @@ pub mod bundle;
 pub mod config;
 pub mod fingerprint;
 pub mod market;
+pub mod marketlog;
 pub mod metrics;
 pub mod mixed;
 pub mod params;
@@ -90,7 +91,9 @@ pub mod prelude {
     };
     pub use crate::bundle::Bundle;
     pub use crate::config::{BundleConfig, Outcome, Strategy};
+    pub use crate::fingerprint::DeltaFingerprint;
     pub use crate::market::{Market, MarketView};
+    pub use crate::marketlog::{Event, MarketLog};
     pub use crate::metrics::{revenue_coverage, revenue_gain};
     pub use crate::params::{Params, SizeCap, Threads};
     pub use crate::wtp::WtpMatrix;

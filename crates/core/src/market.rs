@@ -38,6 +38,14 @@ impl Market {
         self
     }
 
+    /// The same market economics (params, resolved pricing context) over a
+    /// different WTP matrix — how [`crate::marketlog::MarketLog`] turns a
+    /// churned snapshot back into a solvable market without re-resolving
+    /// threads or price mode.
+    pub fn with_wtp(&self, wtp: WtpMatrix) -> Market {
+        Market { wtp, params: self.params, pricing: self.pricing }
+    }
+
     pub fn wtp(&self) -> &WtpMatrix {
         &self.wtp
     }

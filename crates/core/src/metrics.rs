@@ -1,4 +1,7 @@
-//! Evaluation metrics (Section 6.1.2).
+//! Evaluation metrics (Section 6.1.2), plus the Kupfer bundle-vs-separate
+//! diagnostic (arXiv:1611.09613) reported on every sweep cell.
+
+use crate::market::Market;
 
 /// Revenue coverage: the ratio of achieved revenue to the aggregate
 /// willingness to pay (the revenue upper bound). "The 'perfect' score would
@@ -21,9 +24,44 @@ pub fn revenue_gain(revenue: f64, components_revenue: f64) -> f64 {
     (revenue - components_revenue) / components_revenue
 }
 
+/// The Kupfer diagnostic (arXiv:1611.09613): revenue of the optimally
+/// priced **grand bundle** divided by the summed optimal **separate-sale**
+/// revenues of the items. A cheap structural probe of how much headroom
+/// bundling has on a market; reported as the `b/s` column on every sweep
+/// cell.
+///
+/// For `θ ≥ 0` under step adoption the ratio is provably confined (the
+/// bound `proptest_kupfer.rs` pins): the grand bundle can always charge
+/// any single item's optimal price — every buyer of item `j` at price `p`
+/// has bundle WTP `(1+θ)·Σ_i w_{u,i} ≥ w_{u,j} ≥ p` — so
+/// `R_bundle ≥ max_j R_j ≥ R_sep / N`; and `R_bundle ≤ Σ_u w_{u,b} ≤
+/// M·(1+θ)·max_u Σ_i w_{u,i}` while `R_sep ≥ max_u Σ_i w_{u,i}` (sell
+/// each item at one user's WTP), giving `ratio ∈ [1/N, M·(1+θ)]`.
+///
+/// Returns 0.0 for a market with no sellable separate revenue (empty or
+/// zero-WTP), so the diagnostic is total.
+pub fn kupfer_ratio(market: &Market) -> f64 {
+    let n = market.n_items();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut scratch = market.scratch();
+    let separate: f64 = (0..n as u32)
+        .map(|i| market.price_pure(&[i], &mut scratch).revenue)
+        .fold(0.0, |a, r| a + r);
+    if separate <= 0.0 {
+        return 0.0;
+    }
+    let all_items: Vec<u32> = (0..n as u32).collect();
+    let bundle = market.price_pure(&all_items, &mut scratch).revenue;
+    bundle / separate
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::Params;
+    use crate::wtp::WtpMatrix;
 
     #[test]
     fn paper_examples() {
@@ -42,5 +80,26 @@ mod tests {
     #[test]
     fn negative_gain_is_possible() {
         assert!(revenue_gain(9.0, 10.0) < 0.0);
+    }
+
+    #[test]
+    fn kupfer_ratio_on_table1() {
+        // Table 1, θ=0 for the clean arithmetic: separate-optimal sells
+        // item A at 8 (×2 buyers) and item B at 11 (×1) → R_sep = 27.
+        // Grand-bundle WTPs are 16, 10, 16 → best price 16 (×2) = 32.
+        let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
+        let m = Market::new(w, Params::default());
+        let r = kupfer_ratio(&m);
+        assert!((r - 32.0 / 27.0).abs() < 1e-9, "ratio {r}");
+        // Within the θ≥0 step bound [1/N, M(1+θ)].
+        assert!((1.0 / 2.0..=3.0).contains(&r));
+    }
+
+    #[test]
+    fn kupfer_ratio_degenerate_markets() {
+        let empty = Market::new(WtpMatrix::from_rows(vec![]), Params::default());
+        assert_eq!(kupfer_ratio(&empty), 0.0);
+        let zero = Market::new(WtpMatrix::from_rows(vec![vec![0.0, 0.0]]), Params::default());
+        assert_eq!(kupfer_ratio(&zero), 0.0);
     }
 }

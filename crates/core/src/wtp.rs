@@ -3,15 +3,27 @@
 //! Storage is a **flat dual-CSR arena** (`DESIGN.md` §7): one contiguous
 //! `indptr`/`indices`/`values` triple per orientation (item-major columns
 //! and user-major rows), built once from `(user, item, wtp)` triples and
-//! shared behind an [`std::sync::Arc`]. A [`WtpMatrix`] is either the whole
-//! arena or a **zero-copy view** of it restricted to an item and/or user
-//! subset with dense remapped ids; restricted slices are materialized
-//! lazily, once, on first access. Iteration order over a column (ascending
-//! user) and a row (ascending item) is identical for the arena and every
-//! view, which is what preserves the bit-identical determinism contract of
-//! `DESIGN.md` §6 across sub-market solves.
+//! shared behind an [`std::sync::Arc`]. A [`WtpMatrix`] stacks up to three
+//! layers over that arena (`DESIGN.md` §10):
+//!
+//! 1. the immutable **arena** itself;
+//! 2. an optional **delta overlay** ([`crate::marketlog::MarketLog`]'s
+//!    snapshot of net churn): touched rows/columns carry merged slices,
+//!    untouched slices read the arena zero-copy;
+//! 3. an optional **zero-copy view** restricting the (possibly churned)
+//!    base to an item and/or user subset with dense remapped ids;
+//!    restricted slices are materialized lazily, once, on first access.
+//!
+//! Iteration order over a column (ascending user) and a row (ascending
+//! item) is identical for the arena, every overlay, and every view, which
+//! is what preserves the bit-identical determinism contract of `DESIGN.md`
+//! §6 across sub-market solves — and what makes a churned snapshot solve
+//! bit-identically to a cold rebuild ([`WtpMatrix::compact`]).
 
 use std::sync::{Arc, OnceLock};
+
+/// The shared empty slice (a column/row of an added-but-unrated id).
+const EMPTY_SLICE: SparseSlice<'static> = SparseSlice { ids: &[], values: &[] };
 
 /// One CSR orientation: entries of major index `k` live in
 /// `indices[indptr[k]..indptr[k+1]]` / `values[..]`, minor ids ascending.
@@ -93,6 +105,38 @@ impl<'a> IntoIterator for SparseSlice<'a> {
     }
 }
 
+/// Net churn layered over one arena (`DESIGN.md` §10): dimensions may have
+/// grown, touched rows/columns carry fully merged `(ids, values)` slices,
+/// and every untouched slice still reads the arena zero-copy. Built by
+/// [`crate::marketlog::MarketLog::snapshot`]; immutable once built (the
+/// log accumulates further churn and snapshots again).
+#[derive(Debug)]
+struct DeltaOverlay {
+    /// Post-churn dimensions, ≥ the arena's (ids are stable; axes only
+    /// grow — retirement tombstones, it never renumbers).
+    n_users: usize,
+    n_items: usize,
+    /// User id → index into `rows` (`u32::MAX` = untouched, read arena).
+    /// Every id ≥ the arena's user count is touched by construction.
+    row_rank: Vec<u32>,
+    /// Merged `(items, wtps)` of each touched row, items ascending.
+    rows: Vec<(Vec<u32>, Vec<f64>)>,
+    /// Item id → index into `cols` (`u32::MAX` = untouched).
+    col_rank: Vec<u32>,
+    /// Merged `(users, wtps)` of each touched column, users ascending.
+    cols: Vec<(Vec<u32>, Vec<f64>)>,
+    /// Σ over all post-churn entries, accumulated in (user, item) order —
+    /// bit-identical to [`CsrBuilder::finish`] on the rebuilt triples.
+    total_wtp: f64,
+    /// Stored entries after churn.
+    nnz: usize,
+    /// Listed prices of the churned matrix (present iff the base has
+    /// them; covers grown items too).
+    listed_prices: Option<Vec<f64>>,
+    /// Lazily computed content fingerprint ([`WtpMatrix::fingerprint`]).
+    fingerprint: OnceLock<u64>,
+}
+
 /// A restriction of the arena to an item and/or user subset.
 ///
 /// Slices that survive unfiltered stay zero-copy (a column of a
@@ -128,11 +172,16 @@ struct ViewState {
 /// Sparse `M × N` willingness-to-pay matrix over a shared dual-CSR arena.
 /// Zero entries (consumer has no interest in the item) are not stored; both
 /// the item-major and the user-major orientation are kept because the
-/// algorithms need both. Cloning is cheap (the arena is shared), and
-/// [`WtpMatrix::restrict`] produces zero-copy sub-matrix views.
+/// algorithms need both. Cloning is cheap (the arena is shared),
+/// [`WtpMatrix::restrict`] produces zero-copy sub-matrix views, and a
+/// [`crate::marketlog::MarketLog`] snapshot layers a `DeltaOverlay` of
+/// net churn between the arena and any view (`DESIGN.md` §10).
 #[derive(Debug, Clone)]
 pub struct WtpMatrix {
     store: Arc<WtpStore>,
+    /// Net churn over the arena; `None` for a pristine arena. Always
+    /// applied *before* `view` (a view restricts the churned base).
+    delta: Option<Arc<DeltaOverlay>>,
     view: Option<Arc<ViewState>>,
 }
 
@@ -256,6 +305,7 @@ impl CsrBuilder {
                 listed_prices,
                 fingerprint: OnceLock::new(),
             }),
+            delta: None,
             view: None,
         }
     }
@@ -331,11 +381,62 @@ impl WtpMatrix {
         b.finish()
     }
 
+    /// Consumer count of the (possibly churned) base under any view.
+    fn base_n_users(&self) -> usize {
+        self.delta.as_ref().map_or(self.store.n_users, |d| d.n_users)
+    }
+
+    /// Item count of the (possibly churned) base under any view.
+    fn base_n_items(&self) -> usize {
+        self.delta.as_ref().map_or(self.store.n_items, |d| d.n_items)
+    }
+
+    /// Column of the churned base in arena/base ids: the merged overlay
+    /// slice when touched, the arena slice otherwise.
+    fn base_col(&self, item: usize) -> SparseSlice<'_> {
+        if let Some(d) = &self.delta {
+            let rank = d.col_rank[item];
+            if rank != u32::MAX {
+                let (ids, values) = &d.cols[rank as usize];
+                return SparseSlice { ids, values };
+            }
+            // Defensive: snapshot construction marks every beyond-arena id
+            // touched, so an untouched grown id can only be empty.
+            if item >= self.store.n_items {
+                return EMPTY_SLICE;
+            }
+        }
+        self.store.cols.slice(item)
+    }
+
+    /// Row of the churned base in arena/base ids (see [`Self::base_col`]).
+    fn base_row(&self, user: usize) -> SparseSlice<'_> {
+        if let Some(d) = &self.delta {
+            let rank = d.row_rank[user];
+            if rank != u32::MAX {
+                let (ids, values) = &d.rows[rank as usize];
+                return SparseSlice { ids, values };
+            }
+            if user >= self.store.n_users {
+                return EMPTY_SLICE;
+            }
+        }
+        self.store.rows.slice(user)
+    }
+
+    /// Listed price of a base-id item through the overlay, if priced.
+    fn base_listed_price(&self, item: usize) -> Option<f64> {
+        match &self.delta {
+            Some(d) => d.listed_prices.as_ref().map(|p| p[item]),
+            None => self.store.listed_prices.as_ref().map(|p| p[item]),
+        }
+    }
+
     /// Number of consumers `M` (of the view, if restricted).
     pub fn n_users(&self) -> usize {
         match &self.view {
-            Some(v) => v.user_map.as_ref().map_or(self.store.n_users, Vec::len),
-            None => self.store.n_users,
+            Some(v) => v.user_map.as_ref().map_or(self.base_n_users(), Vec::len),
+            None => self.base_n_users(),
         }
     }
 
@@ -343,7 +444,7 @@ impl WtpMatrix {
     pub fn n_items(&self) -> usize {
         match &self.view {
             Some(v) => v.item_map.len(),
-            None => self.store.n_items,
+            None => self.base_n_items(),
         }
     }
 
@@ -353,14 +454,14 @@ impl WtpMatrix {
     /// once and cached.
     pub fn col(&self, item: u32) -> SparseSlice<'_> {
         match &self.view {
-            None => self.store.cols.slice(item as usize),
+            None => self.base_col(item as usize),
             Some(v) => {
                 let arena_item = v.item_map[item as usize] as usize;
                 if v.user_map.is_none() {
-                    return self.store.cols.slice(arena_item);
+                    return self.base_col(arena_item);
                 }
                 let (ids, values) = v.lazy_cols[item as usize].get_or_init(|| {
-                    let full = self.store.cols.slice(arena_item);
+                    let full = self.base_col(arena_item);
                     let mut ids = Vec::new();
                     let mut vals = Vec::new();
                     for (u, w) in full.iter() {
@@ -383,17 +484,17 @@ impl WtpMatrix {
     /// once and cached.
     pub fn row(&self, user: u32) -> SparseSlice<'_> {
         match &self.view {
-            None => self.store.rows.slice(user as usize),
+            None => self.base_row(user as usize),
             Some(v) => {
                 let arena_user = match &v.user_map {
                     Some(m) => m[user as usize] as usize,
                     None => user as usize,
                 };
                 if !v.items_restricted {
-                    return self.store.rows.slice(arena_user);
+                    return self.base_row(arena_user);
                 }
                 let (ids, values) = v.lazy_rows[user as usize].get_or_init(|| {
-                    let full = self.store.rows.slice(arena_user);
+                    let full = self.base_row(arena_user);
                     let mut ids = Vec::new();
                     let mut vals = Vec::new();
                     for (i, w) in full.iter() {
@@ -415,7 +516,7 @@ impl WtpMatrix {
     pub fn total_wtp(&self) -> f64 {
         match &self.view {
             Some(v) => v.total_wtp,
-            None => self.store.total_wtp,
+            None => self.delta.as_ref().map_or(self.store.total_wtp, |d| d.total_wtp),
         }
     }
 
@@ -425,7 +526,7 @@ impl WtpMatrix {
             Some(v) => v.item_map[item as usize] as usize,
             None => item as usize,
         };
-        self.store.listed_prices.as_ref().map(|p| p[arena_item])
+        self.base_listed_price(arena_item)
     }
 
     /// A single entry (zero if not stored).
@@ -437,7 +538,7 @@ impl WtpMatrix {
     /// of cached columns for a user-restricted view.
     pub fn nnz(&self) -> usize {
         match &self.view {
-            None => self.store.cols.indices.len(),
+            None => self.delta.as_ref().map_or(self.store.cols.indices.len(), |d| d.nnz),
             Some(_) => (0..self.n_items() as u32).map(|i| self.col(i).len()).sum(),
         }
     }
@@ -445,6 +546,20 @@ impl WtpMatrix {
     /// True when this matrix is a restriction of a larger arena.
     pub fn is_view(&self) -> bool {
         self.view.is_some()
+    }
+
+    /// True when a delta overlay is layered over the arena.
+    pub fn has_delta(&self) -> bool {
+        self.delta.is_some()
+    }
+
+    /// True when the matrix carries listed per-item prices (a base
+    /// property: views and overlays pass it through).
+    pub fn has_listed_prices(&self) -> bool {
+        match &self.delta {
+            Some(d) => d.listed_prices.is_some(),
+            None => self.store.listed_prices.is_some(),
+        }
     }
 
     /// Zero-copy restriction to an item subset and/or user subset (arena
@@ -483,7 +598,7 @@ impl WtpMatrix {
             Some(m) => m,
             None => match cur_items {
                 Some(m) => m.to_vec(),
-                None => (0..self.store.n_items as u32).collect(),
+                None => (0..self.base_n_items() as u32).collect(),
             },
         };
         let user_map: Option<Vec<u32>> =
@@ -495,13 +610,13 @@ impl WtpMatrix {
                 None => cur_users.map(|m| m.to_vec()),
             };
 
-        let items_restricted = item_map.len() != self.store.n_items
+        let items_restricted = item_map.len() != self.base_n_items()
             || item_map.iter().enumerate().any(|(k, &i)| k as u32 != i);
-        let mut item_rank = vec![u32::MAX; self.store.n_items];
+        let mut item_rank = vec![u32::MAX; self.base_n_items()];
         for (local, &arena) in item_map.iter().enumerate() {
             item_rank[arena as usize] = local as u32;
         }
-        let mut user_rank = vec![u32::MAX; self.store.n_users];
+        let mut user_rank = vec![u32::MAX; self.base_n_users()];
         match &user_map {
             Some(m) => {
                 for (local, &arena) in m.iter().enumerate() {
@@ -521,7 +636,7 @@ impl WtpMatrix {
         // metric) is bit-identical to the rebuilt market's, not just close.
         let mut total = 0.0;
         let mut add_row = |arena_user: usize| {
-            let full = self.store.rows.slice(arena_user);
+            let full = self.base_row(arena_user);
             if items_restricted {
                 for (i, w) in full.iter() {
                     if item_rank[i as usize] != u32::MAX {
@@ -536,13 +651,14 @@ impl WtpMatrix {
         };
         match &user_map {
             Some(m) => m.iter().for_each(|&u| add_row(u as usize)),
-            None => (0..self.store.n_users).for_each(&mut add_row),
+            None => (0..self.base_n_users()).for_each(&mut add_row),
         }
 
         let n_local_items = item_map.len();
-        let n_local_users = user_map.as_ref().map_or(self.store.n_users, Vec::len);
+        let n_local_users = user_map.as_ref().map_or(self.base_n_users(), Vec::len);
         WtpMatrix {
             store: Arc::clone(&self.store),
+            delta: self.delta.clone(),
             view: Some(Arc::new(ViewState {
                 lazy_cols: if user_map.is_some() {
                     (0..n_local_items).map(|_| OnceLock::new()).collect()
@@ -577,9 +693,10 @@ impl WtpMatrix {
     /// user-restricted view the first call materializes every lazy column,
     /// which a subsequent solve would do anyway.
     pub fn fingerprint(&self) -> u64 {
-        let slot = match &self.view {
-            None => &self.store.fingerprint,
-            Some(v) => &v.fingerprint,
+        let slot = match (&self.view, &self.delta) {
+            (Some(v), _) => &v.fingerprint,
+            (None, Some(d)) => &d.fingerprint,
+            (None, None) => &self.store.fingerprint,
         };
         *slot.get_or_init(|| {
             let mut fp = crate::fingerprint::Fingerprinter::new("wtp");
@@ -602,6 +719,107 @@ impl WtpMatrix {
             }
             fp.finish()
         })
+    }
+
+    /// Rebuild a fresh pristine arena holding this matrix's exact content,
+    /// folding in any delta overlay and/or view. Entries are replayed in
+    /// (user, item) order through [`CsrBuilder`], so every read, total,
+    /// and fingerprint of the result is bit-identical to `self`'s — this
+    /// is the compaction step of `DESIGN.md` §10 and the "cold rebuild"
+    /// the churn parity tests compare against.
+    pub fn compact(&self) -> WtpMatrix {
+        let (m, n) = (self.n_users(), self.n_items());
+        let mut b = CsrBuilder::new(m, n);
+        b.reserve(self.nnz());
+        for u in 0..m as u32 {
+            for (i, w) in self.row(u).iter() {
+                b.push(u, i, w);
+            }
+        }
+        if self.has_listed_prices() {
+            let prices = (0..n as u32).map(|i| self.listed_price(i).unwrap()).collect();
+            b = b.with_listed_prices(prices);
+        }
+        b.finish()
+    }
+
+    /// Layer a fully merged delta overlay over a pristine arena — the
+    /// snapshot constructor of [`crate::marketlog::MarketLog`]. The
+    /// touched rows/columns carry the complete *post-churn* slices of
+    /// every churned id (ascending id, ascending minor ids inside, the
+    /// two orientations mutually consistent), and every id beyond the
+    /// arena's dimensions must appear as touched in both orientations.
+    /// The overlay's total is accumulated here in (user, item) order so a
+    /// snapshot read is bit-identical to [`Self::compact`] of itself.
+    pub(crate) fn with_overlay(
+        &self,
+        n_users: usize,
+        n_items: usize,
+        touched_rows: Vec<(u32, Vec<u32>, Vec<f64>)>,
+        touched_cols: Vec<(u32, Vec<u32>, Vec<f64>)>,
+        listed_prices: Option<Vec<f64>>,
+    ) -> WtpMatrix {
+        assert!(
+            self.view.is_none() && self.delta.is_none(),
+            "overlay base must be a pristine arena"
+        );
+        assert!(n_users >= self.store.n_users, "user axis only grows");
+        assert!(n_items >= self.store.n_items, "item axis only grows");
+        match (&self.store.listed_prices, &listed_prices) {
+            (Some(_), Some(p)) => assert_eq!(p.len(), n_items, "one listed price per item"),
+            (None, None) => {}
+            _ => panic!("overlay listed prices must match the base's presence"),
+        }
+
+        let mut row_rank = vec![u32::MAX; n_users];
+        let mut rows = Vec::with_capacity(touched_rows.len());
+        for (u, ids, vals) in touched_rows {
+            debug_assert_eq!(ids.len(), vals.len());
+            row_rank[u as usize] = rows.len() as u32;
+            rows.push((ids, vals));
+        }
+        let mut col_rank = vec![u32::MAX; n_items];
+        let mut cols = Vec::with_capacity(touched_cols.len());
+        for (i, ids, vals) in touched_cols {
+            debug_assert_eq!(ids.len(), vals.len());
+            col_rank[i as usize] = cols.len() as u32;
+            cols.push((ids, vals));
+        }
+        for (u, &r) in row_rank.iter().enumerate().skip(self.store.n_users) {
+            assert!(r != u32::MAX, "grown user {u} must be in the touched set");
+        }
+        for (i, &r) in col_rank.iter().enumerate().skip(self.store.n_items) {
+            assert!(r != u32::MAX, "grown item {i} must be in the touched set");
+        }
+
+        // Post-churn Σ and nnz, in the builder's (user, item) order.
+        let mut total = 0.0;
+        let mut nnz = 0usize;
+        for (u, &r) in row_rank.iter().enumerate() {
+            let vals: &[f64] =
+                if r != u32::MAX { &rows[r as usize].1 } else { self.store.rows.slice(u).values };
+            nnz += vals.len();
+            for &w in vals {
+                total += w;
+            }
+        }
+
+        WtpMatrix {
+            store: Arc::clone(&self.store),
+            delta: Some(Arc::new(DeltaOverlay {
+                n_users,
+                n_items,
+                row_rank,
+                rows,
+                col_rank,
+                cols,
+                total_wtp: total,
+                nnz,
+                listed_prices,
+                fingerprint: OnceLock::new(),
+            })),
+            view: None,
+        }
     }
 }
 
@@ -850,6 +1068,49 @@ mod tests {
         let repriced = WtpMatrix::from_triples(1, 1, triples, Some(vec![4.99]));
         assert_ne!(plain.fingerprint(), priced.fingerprint());
         assert_ne!(priced.fingerprint(), repriced.fingerprint());
+    }
+
+    #[test]
+    fn overlay_merges_base_and_touched_slices() {
+        let w = WtpMatrix::from_rows(vec![vec![12.0, 4.0], vec![8.0, 2.0], vec![5.0, 11.0]]);
+        // Churn: (user 1, item 0) 8 → 9, and a new user 3 rating item 1 at 6.
+        let d = w.with_overlay(
+            4,
+            2,
+            vec![(1, vec![0, 1], vec![9.0, 2.0]), (3, vec![1], vec![6.0])],
+            vec![
+                (0, vec![0, 1, 2], vec![12.0, 9.0, 5.0]),
+                (1, vec![0, 1, 2, 3], vec![4.0, 2.0, 11.0, 6.0]),
+            ],
+            None,
+        );
+        assert!(d.has_delta());
+        assert_eq!(d.n_users(), 4);
+        assert_eq!(d.get(1, 0), 9.0);
+        assert_eq!(d.get(3, 1), 6.0);
+        assert_eq!(d.get(0, 0), 12.0); // untouched row reads the arena
+        assert_eq!(d.nnz(), 7);
+        let rebuilt = WtpMatrix::from_rows(vec![
+            vec![12.0, 4.0],
+            vec![9.0, 2.0],
+            vec![5.0, 11.0],
+            vec![0.0, 6.0],
+        ]);
+        assert_eq!(d, rebuilt);
+        assert_eq!(d.total_wtp().to_bits(), rebuilt.total_wtp().to_bits());
+        assert_eq!(d.fingerprint(), rebuilt.fingerprint());
+        // Compaction is identity on reads and fingerprints.
+        let c = d.compact();
+        assert!(!c.has_delta());
+        assert_eq!(c, rebuilt);
+        assert_eq!(c.fingerprint(), d.fingerprint());
+        // A view over the churned base reads through the overlay.
+        let v = d.restrict(Some(&[0]), Some(&[1, 3]));
+        assert_eq!(v.get(0, 0), 9.0);
+        assert_eq!(v.n_users(), 2);
+        let cold = c.restrict(Some(&[0]), Some(&[1, 3]));
+        assert_eq!(v.fingerprint(), cold.fingerprint());
+        assert_eq!(v.total_wtp().to_bits(), cold.total_wtp().to_bits());
     }
 
     #[test]

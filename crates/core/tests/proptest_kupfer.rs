@@ -1,0 +1,70 @@
+//! Property test pinning the documented Kupfer-ratio bound
+//! (`metrics::kupfer_ratio`, arXiv:1611.09613): for `θ ≥ 0` under step
+//! adoption, on any market with positive separate-sale revenue,
+//!
+//! ```text
+//! 1/N  ≤  R_bundle / R_sep  ≤  M·(1+θ)
+//! ```
+//!
+//! with `N` the item count and `M` the consumer count (proof sketch in the
+//! function's docs). The bound is theory-backed only for non-negative
+//! complementarity and step adoption, which is what this suite generates.
+
+use proptest::prelude::*;
+use revmax_core::market::Market;
+use revmax_core::metrics::kupfer_ratio;
+use revmax_core::params::Params;
+use revmax_core::wtp::WtpMatrix;
+
+/// Random dense markets with at least one positive WTP, θ ∈ [0, 0.2].
+fn arb_market() -> impl Strategy<Value = (Vec<Vec<f64>>, f64)> {
+    fn cell() -> impl Strategy<Value = f64> {
+        (0u32..80u32).prop_map(|raw| if raw < 30 { 0.0 } else { raw as f64 * 0.25 })
+    }
+    (1usize..7, 1usize..7)
+        .prop_flat_map(move |(m, n)| {
+            (proptest::collection::vec(proptest::collection::vec(cell(), n..=n), m..=m), 0i32..=20)
+                .prop_map(|(rows, theta)| (rows, theta as f64 / 100.0))
+        })
+        .prop_filter("needs sellable content", |(rows, _)| rows.iter().flatten().any(|&w| w > 0.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn kupfer_ratio_respects_the_step_adoption_bound((rows, theta) in arb_market()) {
+        let (m, n) = (rows.len() as f64, rows[0].len() as f64);
+        let market =
+            Market::new(WtpMatrix::from_rows(rows), Params::default().with_theta(theta));
+        let ratio = kupfer_ratio(&market);
+        // Positive content ⇒ positive separate revenue ⇒ a real ratio.
+        prop_assert!(ratio > 0.0, "ratio must be defined on sellable markets, got {}", ratio);
+        let tol = 1e-9;
+        prop_assert!(
+            ratio >= 1.0 / n - tol,
+            "ratio {} below 1/N = {} (θ = {})", ratio, 1.0 / n, theta
+        );
+        prop_assert!(
+            ratio <= m * (1.0 + theta) + tol,
+            "ratio {} above M(1+θ) = {} (θ = {})", ratio, m * (1.0 + theta), theta
+        );
+    }
+
+    #[test]
+    fn kupfer_ratio_is_scale_invariant((rows, theta) in arb_market(), k in 1u32..9) {
+        // Scaling every WTP by k scales both numerator and denominator.
+        let k = k as f64;
+        let scaled: Vec<Vec<f64>> =
+            rows.iter().map(|r| r.iter().map(|w| w * k).collect()).collect();
+        let a = kupfer_ratio(&Market::new(
+            WtpMatrix::from_rows(rows),
+            Params::default().with_theta(theta),
+        ));
+        let b = kupfer_ratio(&Market::new(
+            WtpMatrix::from_rows(scaled),
+            Params::default().with_theta(theta),
+        ));
+        prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{} vs {}", a, b);
+    }
+}

@@ -13,8 +13,10 @@
 //! of thread scheduling. The executor then solves only the misses, in
 //! parallel, and fans the outcomes back out.
 
+use revmax_core::config::Outcome;
 use revmax_core::fingerprint::{combine, fingerprint_str};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Build the cache key for (market fingerprint, configurator name).
 pub fn solve_key(market_fingerprint: u64, method: &str) -> u64 {
@@ -77,6 +79,61 @@ impl SolveCache {
         }
         self.stats.misses += 1;
         Probe::Miss
+    }
+}
+
+/// A **retained** solve-outcome cache keyed by [`solve_key`] — the live
+/// engine's memory across churn batches. [`SolveCache`] dedups within one
+/// sweep and is dropped with it; this cache keeps the solved outcomes, so
+/// after a delta batch only the cells whose (sub-)market content
+/// fingerprint actually changed miss and re-solve. That is the
+/// cache-invalidation invariant of `DESIGN.md` §10: content fingerprints
+/// of untouched cohorts are unchanged by construction, so their cells hit.
+#[derive(Debug, Default)]
+pub struct OutcomeCache {
+    map: HashMap<u64, Arc<Outcome>>,
+    pub stats: CacheStats,
+}
+
+impl OutcomeCache {
+    pub fn new() -> Self {
+        OutcomeCache::default()
+    }
+
+    /// Look up a solved outcome; counts a hit or miss.
+    pub fn get(&mut self, key: u64) -> Option<Arc<Outcome>> {
+        match self.map.get(&key) {
+            Some(o) => {
+                self.stats.hits += 1;
+                Some(Arc::clone(o))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store the outcome a miss solved.
+    pub fn insert(&mut self, key: u64, outcome: Arc<Outcome>) {
+        self.map.insert(key, outcome);
+    }
+
+    /// Stored outcomes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drop every entry whose key is not in `keep` (the keys of the
+    /// latest resolve) — bounds memory across long churn histories where
+    /// stale fingerprints can never hit again.
+    pub fn retain_keys(&mut self, keep: &[u64]) {
+        let keep: std::collections::HashSet<u64> = keep.iter().copied().collect();
+        self.map.retain(|k, _| keep.contains(k));
     }
 }
 

@@ -40,6 +40,23 @@ impl std::fmt::Display for Cohort {
     }
 }
 
+/// The deterministic per-market solve-cell axis: the whole market first,
+/// then each activity cohort in order, with the method list inner. One
+/// definition shared by [`JobDag::expand`] and the live engine
+/// (`crate::live`), so an incremental re-solve's cells line up one-to-one
+/// with the sweep cells of the same market.
+pub fn cell_axis(cohorts: usize, methods: &[String]) -> Vec<(Cohort, String)> {
+    let mut cohort_axis = vec![Cohort::Whole];
+    cohort_axis.extend((0..cohorts as u32).map(Cohort::Seg));
+    let mut out = Vec::with_capacity(cohort_axis.len() * methods.len());
+    for &cohort in &cohort_axis {
+        for method in methods {
+            out.push((cohort, method.clone()));
+        }
+    }
+    out
+}
+
 /// One node of the DAG. Stage references (`dataset`, `market`,
 /// `partition`) are indices into the respective stage lists
 /// ([`JobDag::datasets`] etc.), which is what the executor consumes;
@@ -151,24 +168,20 @@ impl JobDag {
                     };
                     let upstream =
                         if spec.cohorts >= 1 { partition_of[mk_idx] } else { dag.markets[mk_idx] };
-                    let mut cohort_axis = vec![Cohort::Whole];
-                    cohort_axis.extend((0..spec.cohorts as u32).map(Cohort::Seg));
-                    for &cohort in &cohort_axis {
-                        for method in &spec.methods {
-                            let job = dag.push(
-                                JobKind::Solve { market: mk_idx, cohort, method: method.clone() },
-                                vec![upstream],
-                            );
-                            dag.cells.push(CellMeta {
-                                job,
-                                market: mk_idx,
-                                scale,
-                                seed,
-                                theta,
-                                cohort,
-                                method: method.clone(),
-                            });
-                        }
+                    for (cohort, method) in cell_axis(spec.cohorts, &spec.methods) {
+                        let job = dag.push(
+                            JobKind::Solve { market: mk_idx, cohort, method: method.clone() },
+                            vec![upstream],
+                        );
+                        dag.cells.push(CellMeta {
+                            job,
+                            market: mk_idx,
+                            scale,
+                            seed,
+                            theta,
+                            cohort,
+                            method,
+                        });
                     }
                 }
             }
@@ -249,6 +262,20 @@ mod tests {
         assert_eq!(dag.jobs[dag.partitions[0]].deps, vec![dag.markets[0]]);
         assert_eq!(dag.jobs[dag.markets[0]].deps, vec![dag.datasets[0]]);
         assert!(dag.jobs[dag.datasets[0]].deps.is_empty());
+    }
+
+    #[test]
+    fn cell_axis_matches_expansion_order() {
+        let methods = vec!["Components".to_string(), "Pure Matching".to_string()];
+        let axis = cell_axis(2, &methods);
+        assert_eq!(axis.len(), 6);
+        assert_eq!(axis[0], (Cohort::Whole, "Components".to_string()));
+        assert_eq!(axis[1], (Cohort::Whole, "Pure Matching".to_string()));
+        assert_eq!(axis[2].0, Cohort::Seg(0));
+        let dag = JobDag::expand(&spec(vec![1], vec![0.0], 2));
+        let from_dag: Vec<(Cohort, String)> =
+            dag.cells.iter().map(|c| (c.cohort, c.method.clone())).collect();
+        assert_eq!(from_dag, axis);
     }
 
     #[test]

@@ -32,11 +32,13 @@
 
 pub mod cache;
 pub mod dag;
+pub mod live;
 pub mod report;
 pub mod spec;
 
-pub use cache::{CacheStats, SolveCache};
+pub use cache::{CacheStats, OutcomeCache, SolveCache};
 pub use dag::{Cohort, DagSummary, JobDag};
+pub use live::{LiveCell, LiveEngine, LiveReport};
 pub use report::{BenchEntry, CellResult, SolveTiming, SweepReport};
 pub use spec::{ScaleSpec, SweepSpec};
 
@@ -189,14 +191,18 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, String> {
         }
     }
 
-    // Stage 3 — partitions + fingerprints: per market, the cohort views
-    // and the content fingerprint of every solvable sub-market. Computing
-    // fingerprints here also materializes the views' lazy columns once,
-    // outside the timed solves.
+    // Stage 3 — partitions + fingerprints + diagnostics: per market, the
+    // cohort views, the content fingerprint of every solvable sub-market,
+    // and the Kupfer bundle-vs-separate ratio (a per-sub-market structural
+    // diagnostic, independent of the method axis). Computing fingerprints
+    // here also materializes the views' lazy columns once, outside the
+    // timed solves.
     struct Partitioned {
         views: Vec<MarketView>,
         whole_fp: u64,
         view_fps: Vec<u64>,
+        whole_kupfer: f64,
+        view_kupfers: Vec<f64>,
     }
     let partitioned: Vec<Partitioned> = par_index_map(threads, markets.len(), |k| {
         let market = &markets[k];
@@ -208,6 +214,8 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, String> {
         Partitioned {
             whole_fp: market.fingerprint(),
             view_fps: views.iter().map(|v| v.fingerprint()).collect(),
+            whole_kupfer: revmax_core::metrics::kupfer_ratio(market),
+            view_kupfers: views.iter().map(|v| revmax_core::metrics::kupfer_ratio(v)).collect(),
             views,
         }
     });
@@ -278,14 +286,14 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, String> {
         .zip(&assignment)
         .map(|(cell, &(slot, cached))| {
             let p = &partitioned[cell.market];
-            let (fp, n_users, n_items) = match cell.cohort {
+            let (fp, kupfer, n_users, n_items) = match cell.cohort {
                 Cohort::Whole => {
                     let m = &markets[cell.market];
-                    (p.whole_fp, m.n_users(), m.n_items())
+                    (p.whole_fp, p.whole_kupfer, m.n_users(), m.n_items())
                 }
                 Cohort::Seg(k) => {
                     let v = &p.views[k as usize];
-                    (p.view_fps[k as usize], v.n_users(), v.n_items())
+                    (p.view_fps[k as usize], p.view_kupfers[k as usize], v.n_users(), v.n_items())
                 }
             };
             let s = &solved[slot];
@@ -302,6 +310,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, String> {
                 components_revenue: s.outcome.components_revenue,
                 coverage: s.outcome.coverage,
                 gain: s.outcome.gain,
+                kupfer,
                 n_bundles: s.outcome.config.n_bundles(),
                 config: s.outcome.config.clone(),
                 config_canon: canons[slot].clone(),

@@ -1,0 +1,322 @@
+//! Live incremental re-solving over a churned market (`DESIGN.md` §10).
+//!
+//! The sweep engine answers "solve this grid once"; a live market asks
+//! "the market moved a little — what changed?". [`LiveEngine`] holds a
+//! retained [`OutcomeCache`] keyed exactly like the sweep's solve cache
+//! ([`crate::cache::solve_key`] over content fingerprints), and each
+//! [`LiveEngine::resolve`] walks the same deterministic cell axis as a
+//! sweep ([`crate::dag::cell_axis`]: whole market first, then activity
+//! cohorts, methods inner). Because a delta batch leaves the content
+//! fingerprint of every untouched cohort unchanged *by construction*
+//! (cohort membership is a pure function of row activity, and untouched
+//! rows read the shared arena), only the cells a batch actually
+//! invalidates miss the cache and re-solve — and a miss solves the exact
+//! sub-market a cold engine would, so the resulting report is
+//! **bit-identical** to a from-scratch resolve ([`LiveReport::canonical`]
+//! pins this in the churn parity suites).
+
+use crate::cache::{self, CacheStats, OutcomeCache};
+use crate::dag::{cell_axis, Cohort};
+use crate::{activity_labels, spec};
+use revmax_core::algorithms;
+use revmax_core::config::Outcome;
+use revmax_core::market::Market;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// One solve cell of a live resolve.
+#[derive(Debug, Clone)]
+pub struct LiveCell {
+    pub method: String,
+    pub cohort: Cohort,
+    pub n_users: usize,
+    pub n_items: usize,
+    /// Content fingerprint of the cell's (sub-)market.
+    pub fingerprint: u64,
+    pub revenue: f64,
+    pub gain: f64,
+    /// Kupfer bundle-vs-separate diagnostic of the cell's sub-market.
+    pub kupfer: f64,
+    /// True when the retained cache already held this solve.
+    pub cached: bool,
+    /// The full solved outcome (shared with the cache).
+    pub outcome: Arc<Outcome>,
+}
+
+/// The result of one [`LiveEngine::resolve`].
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    /// One row per cell, in [`cell_axis`] order.
+    pub cells: Vec<LiveCell>,
+    /// Indices (into `cells`) whose solve key changed since the previous
+    /// resolve — the cells the last delta batch invalidated. Every index
+    /// on the first resolve.
+    pub invalidated: Vec<usize>,
+    /// Cache hits/misses of this resolve only.
+    pub stats: CacheStats,
+}
+
+impl LiveReport {
+    /// Bit-exact serialization of every cell (fingerprints, diagnostics,
+    /// full configuration; no wall clock, no cache placement): an
+    /// incremental resolve and a cold resolve of the same market must
+    /// render identically.
+    pub fn canonical(&self) -> String {
+        let mut s = String::new();
+        writeln!(s, "cells:{}", self.cells.len()).unwrap();
+        for c in &self.cells {
+            writeln!(
+                s,
+                "{}|live|{}|{}x{}|fp:{:016x}|bvs:{:016x}|{}",
+                c.method,
+                c.cohort,
+                c.n_users,
+                c.n_items,
+                c.fingerprint,
+                c.kupfer.to_bits(),
+                crate::report::canon_outcome(&c.outcome),
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    /// Total revenue across the whole-market cells of one method (the
+    /// serve layer's headline number).
+    pub fn whole_revenue(&self, method: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.cohort == Cohort::Whole && c.method == method)
+            .map(|c| c.revenue)
+    }
+}
+
+/// A retained incremental solver: construct once, [`LiveEngine::resolve`]
+/// after every churn batch.
+#[derive(Debug)]
+pub struct LiveEngine {
+    /// Canonical (registry-spelled) method names.
+    methods: Vec<String>,
+    /// Activity-cohort count (`0` = whole market only).
+    cohorts: usize,
+    cache: OutcomeCache,
+    /// Kupfer diagnostics by sub-market content fingerprint — like the
+    /// solve cache, untouched cohorts reuse theirs across churn batches.
+    kupfer_memo: std::collections::HashMap<u64, f64>,
+    /// Solve keys of the previous resolve, in cell order.
+    prev_keys: Vec<u64>,
+    /// Sub-market fingerprints of the previous resolve.
+    prev_fps: Vec<u64>,
+}
+
+impl LiveEngine {
+    /// Build an engine for the given methods (any registry spelling) and
+    /// cohort count.
+    pub fn new(methods: &[&str], cohorts: usize) -> Result<Self, String> {
+        if methods.is_empty() {
+            return Err("at least one method required".into());
+        }
+        let methods =
+            methods.iter().map(|m| spec::resolve_method(m)).collect::<Result<Vec<_>, _>>()?;
+        Ok(LiveEngine {
+            methods,
+            cohorts,
+            cache: OutcomeCache::new(),
+            kupfer_memo: std::collections::HashMap::new(),
+            prev_keys: Vec::new(),
+            prev_fps: Vec::new(),
+        })
+    }
+
+    /// Cumulative cache statistics across every resolve so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats
+    }
+
+    /// Solved outcomes currently retained.
+    pub fn cached_solves(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drop retained outcomes and diagnostics that the most recent resolve
+    /// did not use (stale fingerprints from superseded churn states).
+    pub fn prune(&mut self) {
+        self.cache.retain_keys(&self.prev_keys);
+        let keep: std::collections::HashSet<u64> = self.prev_fps.iter().copied().collect();
+        self.kupfer_memo.retain(|fp, _| keep.contains(fp));
+    }
+
+    /// Solve every cell of `market` (whole market plus activity cohorts,
+    /// every method), reusing retained outcomes wherever the cell's
+    /// content fingerprint is unchanged. Deterministic: cells are probed
+    /// and solved in [`cell_axis`] order.
+    pub fn resolve(&mut self, market: &Market) -> Result<LiveReport, String> {
+        if self.cohorts >= 1 && market.n_users() < self.cohorts {
+            return Err(format!(
+                "cannot split {} consumers into {} cohorts",
+                market.n_users(),
+                self.cohorts
+            ));
+        }
+        let views = if self.cohorts >= 1 {
+            market.partition_by(&activity_labels(market, self.cohorts))
+        } else {
+            Vec::new()
+        };
+        let before = self.cache.stats;
+        let mut cells = Vec::new();
+        let mut keys = Vec::new();
+        let mut fps = Vec::new();
+        for (cohort, method) in cell_axis(self.cohorts, &self.methods) {
+            let m: &Market = match cohort {
+                Cohort::Whole => market,
+                Cohort::Seg(k) => &views[k as usize],
+            };
+            let fp = m.fingerprint();
+            // Per-sub-market diagnostic, memoized by content fingerprint
+            // (shared by the method axis, reused across churn batches).
+            let kupfer = match self.kupfer_memo.get(&fp) {
+                Some(&k) => k,
+                None => {
+                    let k = revmax_core::metrics::kupfer_ratio(m);
+                    self.kupfer_memo.insert(fp, k);
+                    k
+                }
+            };
+            let key = cache::solve_key(fp, &method);
+            let (outcome, cached) = match self.cache.get(key) {
+                Some(o) => (o, true),
+                None => {
+                    let configurator =
+                        algorithms::by_name(&method).expect("methods resolved at construction");
+                    let o = Arc::new(configurator.run(m));
+                    self.cache.insert(key, Arc::clone(&o));
+                    (o, false)
+                }
+            };
+            cells.push(LiveCell {
+                method,
+                cohort,
+                n_users: m.n_users(),
+                n_items: m.n_items(),
+                fingerprint: fp,
+                revenue: outcome.revenue,
+                gain: outcome.gain,
+                kupfer,
+                cached,
+                outcome,
+            });
+            keys.push(key);
+            fps.push(fp);
+        }
+        let invalidated: Vec<usize> = keys
+            .iter()
+            .enumerate()
+            .filter(|&(i, &k)| self.prev_keys.get(i) != Some(&k))
+            .map(|(i, _)| i)
+            .collect();
+        self.prev_keys = keys;
+        self.prev_fps = fps;
+        let after = self.cache.stats;
+        Ok(LiveReport {
+            cells,
+            invalidated,
+            stats: CacheStats {
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{market_from_data, ScaleSpec};
+    use revmax_core::marketlog::{Event, MarketLog};
+
+    fn tiny_market() -> Market {
+        market_from_data(&ScaleSpec::Tiny.config().generate(2015), 0.05)
+    }
+
+    #[test]
+    fn first_resolve_misses_everything_and_marks_all_invalidated() {
+        let mut eng = LiveEngine::new(&["components", "pure_greedy"], 2).unwrap();
+        let report = eng.resolve(&tiny_market()).unwrap();
+        assert_eq!(report.cells.len(), 2 * 3); // methods × (whole + 2 cohorts)
+        assert_eq!(report.stats.misses, 6);
+        assert_eq!(report.stats.hits, 0);
+        assert_eq!(report.invalidated.len(), 6);
+        assert!(report.cells.iter().all(|c| !c.cached && c.revenue > 0.0));
+        // Diagnostics are per-sub-market: both methods of one cohort agree.
+        assert_eq!(report.cells[0].kupfer.to_bits(), report.cells[1].kupfer.to_bits());
+    }
+
+    #[test]
+    fn unchanged_market_is_all_hits() {
+        let market = tiny_market();
+        let mut eng = LiveEngine::new(&["components"], 2).unwrap();
+        eng.resolve(&market).unwrap();
+        let again = eng.resolve(&market).unwrap();
+        assert_eq!(again.stats.hits, 3);
+        assert_eq!(again.stats.misses, 0);
+        assert!(again.invalidated.is_empty());
+    }
+
+    #[test]
+    fn churn_invalidates_only_touched_cohorts_and_matches_cold() {
+        let market = tiny_market();
+        let mut eng = LiveEngine::new(&["components", "pure_greedy"], 2).unwrap();
+        eng.resolve(&market).unwrap();
+
+        // Upsert one existing cell's value: exactly one user's row moves.
+        let mut log = MarketLog::new(market);
+        let (user, item, old) = {
+            let bw = log.base().wtp();
+            let row = bw.row(0);
+            (0u32, row.ids[0], row.values[0])
+        };
+        log.apply(Event::UpsertWtp { user, item, wtp: old * 1.5 }).unwrap();
+        let churned = log.snapshot();
+
+        let inc = eng.resolve(&churned).unwrap();
+        // Whole market always invalidates; exactly one cohort holds the
+        // touched user, so of 3 sub-markets × 2 methods, 4 cells miss.
+        assert_eq!(inc.stats.misses, 4, "invalidated: {:?}", inc.invalidated);
+        assert_eq!(inc.stats.hits, 2);
+        assert_eq!(inc.invalidated.len(), 4);
+
+        // Bit-identical to a cold engine on the same churned market.
+        let mut cold_eng = LiveEngine::new(&["components", "pure_greedy"], 2).unwrap();
+        let cold = cold_eng.resolve(&churned).unwrap();
+        assert_eq!(inc.canonical(), cold.canonical());
+    }
+
+    #[test]
+    fn prune_drops_stale_outcomes() {
+        let market = tiny_market();
+        let mut eng = LiveEngine::new(&["components"], 0).unwrap();
+        eng.resolve(&market).unwrap();
+        let mut log = MarketLog::new(market);
+        let item = log.base().wtp().row(0).ids[0];
+        log.apply(Event::UpsertWtp { user: 0, item, wtp: 123.0 }).unwrap();
+        eng.resolve(&log.snapshot()).unwrap();
+        assert_eq!(eng.cached_solves(), 2);
+        eng.prune();
+        assert_eq!(eng.cached_solves(), 1);
+    }
+
+    #[test]
+    fn unknown_method_is_an_error() {
+        assert!(LiveEngine::new(&["not_a_method"], 0).is_err());
+        assert!(LiveEngine::new(&[], 0).is_err());
+    }
+
+    #[test]
+    fn whole_revenue_finds_the_headline_cell() {
+        let mut eng = LiveEngine::new(&["components"], 1).unwrap();
+        let report = eng.resolve(&tiny_market()).unwrap();
+        assert_eq!(report.whole_revenue("Components"), Some(report.cells[0].revenue));
+        assert_eq!(report.whole_revenue("nope"), None);
+    }
+}

@@ -53,6 +53,11 @@ pub struct CellResult {
     pub components_revenue: f64,
     pub coverage: f64,
     pub gain: f64,
+    /// Kupfer bundle-vs-separate revenue ratio of this cell's sub-market
+    /// ([`revmax_core::metrics::kupfer_ratio`]) — a structural diagnostic
+    /// independent of the method axis, so every method cell of one
+    /// sub-market reports the same value (the `b/s` column).
+    pub kupfer: f64,
     pub n_bundles: usize,
     /// The winning configuration itself — what the serving layer compiles
     /// into a `MenuIndex` (`revmax-serve`, `DESIGN.md` §9). Cached cells
@@ -128,7 +133,7 @@ impl SweepReport {
         for c in &self.cells {
             writeln!(
                 s,
-                "{}|{}|theta:{:016x}|seed:{}|{}|{}x{}|fp:{:016x}|{}",
+                "{}|{}|theta:{:016x}|seed:{}|{}|{}x{}|fp:{:016x}|bvs:{:016x}|{}",
                 c.method,
                 c.scale.name(),
                 c.theta.to_bits(),
@@ -137,6 +142,7 @@ impl SweepReport {
                 c.n_users,
                 c.n_items,
                 c.fingerprint,
+                c.kupfer.to_bits(),
                 c.config_canon,
             )
             .unwrap();
@@ -146,8 +152,10 @@ impl SweepReport {
 
     /// Column-aligned human table plus cache/DAG footer.
     pub fn render_table(&self) -> String {
-        let header =
-            ["method", "scale", "theta", "seed", "cohort", "users", "revenue", "gain", "time", ""];
+        let header = [
+            "method", "scale", "theta", "seed", "cohort", "users", "revenue", "gain", "b/s",
+            "time", "",
+        ];
         let mut rows: Vec<Vec<String>> = vec![header.iter().map(|s| s.to_string()).collect()];
         for c in &self.cells {
             rows.push(vec![
@@ -159,6 +167,7 @@ impl SweepReport {
                 format!("{}", c.n_users),
                 format!("{:.2}", c.revenue),
                 format!("{:+.2}%", c.gain * 100.0),
+                format!("{:.3}", c.kupfer),
                 match &c.timing {
                     Some(t) => format!("{:.3} ms", t.mean_ns as f64 / 1e6),
                     None => "-".into(),

@@ -34,19 +34,15 @@ use revmax_core::params::Params;
 use revmax_core::wtp::WtpMatrix;
 use std::sync::Arc;
 
-/// The frozen read-side state shared by every clone of a [`MenuIndex`].
+/// The market-independent half of a compiled menu: the flattened offer
+/// forest and its postings, a pure function of the [`BundleConfig`] and
+/// the item universe. Rebinding the same menu to a churned market
+/// ([`MenuIndex::rebind`]) shares this whole structure by `Arc` and only
+/// swaps the market half.
 #[derive(Debug)]
-pub(crate) struct MenuStore {
+pub(crate) struct MenuShape {
     pub(crate) strategy: Strategy,
-    pub(crate) n_users: usize,
     pub(crate) n_items: usize,
-    /// Solve parameters (θ for set WTPs; everything else rides along).
-    pub(crate) params: Params,
-    /// The resolved §4.1 adoption model (γ, α, ε) of the compiled market.
-    pub(crate) adoption: AdoptionModel,
-    /// The market's WTP store — an `Arc`-shared arena (or zero-copy view),
-    /// so compiling an index never copies the matrix.
-    pub(crate) wtp: WtpMatrix,
     /// Node `n`'s items are `node_items[node_indptr[n]..node_indptr[n+1]]`,
     /// strictly ascending.
     pub(crate) node_indptr: Vec<usize>,
@@ -64,6 +60,21 @@ pub(crate) struct MenuStore {
     /// `post_nodes[post_indptr[i]..post_indptr[i+1]]`, ascending node ids.
     pub(crate) post_indptr: Vec<usize>,
     pub(crate) post_nodes: Vec<u32>,
+}
+
+/// The frozen read-side state shared by every clone of a [`MenuIndex`]:
+/// the config-derived `MenuShape` plus the market half it is bound to.
+#[derive(Debug)]
+pub(crate) struct MenuStore {
+    pub(crate) shape: Arc<MenuShape>,
+    pub(crate) n_users: usize,
+    /// Solve parameters (θ for set WTPs; everything else rides along).
+    pub(crate) params: Params,
+    /// The resolved §4.1 adoption model (γ, α, ε) of the compiled market.
+    pub(crate) adoption: AdoptionModel,
+    /// The market's WTP store — an `Arc`-shared arena (or zero-copy view
+    /// or delta overlay), so binding an index never copies the matrix.
+    pub(crate) wtp: WtpMatrix,
 }
 
 /// A read-optimized, `Arc`-shared index over one solved menu
@@ -148,20 +159,46 @@ impl MenuIndex {
         MenuIndex {
             threads: market.threads(),
             store: Arc::new(MenuStore {
-                strategy: config.strategy,
+                shape: Arc::new(MenuShape {
+                    strategy: config.strategy,
+                    n_items,
+                    node_indptr,
+                    node_items,
+                    prices,
+                    n_children,
+                    subtree_start,
+                    roots,
+                    post_indptr,
+                    post_nodes,
+                }),
                 n_users: market.n_users(),
-                n_items,
                 params: *market.params(),
                 adoption: market.pricing_ctx().adoption,
                 wtp: market.wtp().clone(),
-                node_indptr,
-                node_items,
-                prices,
-                n_children,
-                subtree_start,
-                roots,
-                post_indptr,
-                post_nodes,
+            }),
+        }
+    }
+
+    /// Re-bind this compiled menu to a churned market with the **same item
+    /// universe** (same items, any consumers): the flattened offer forest
+    /// and postings (`MenuShape`) are shared by `Arc`, only the market
+    /// half (consumers, params, adoption, WTP matrix) is replaced. This is
+    /// the cheap serve-side path after a churn batch whose re-solve kept
+    /// the menu configuration unchanged.
+    pub fn rebind(&self, market: &Market) -> MenuIndex {
+        assert_eq!(
+            market.n_items(),
+            self.store.shape.n_items,
+            "rebind requires the compiled item universe"
+        );
+        MenuIndex {
+            threads: market.threads(),
+            store: Arc::new(MenuStore {
+                shape: Arc::clone(&self.store.shape),
+                n_users: market.n_users(),
+                params: *market.params(),
+                adoption: market.pricing_ctx().adoption,
+                wtp: market.wtp().clone(),
             }),
         }
     }
@@ -181,7 +218,7 @@ impl MenuIndex {
 
     /// The compiled configuration's strategy.
     pub fn strategy(&self) -> Strategy {
-        self.store.strategy
+        self.store.shape.strategy
     }
 
     /// Number of consumers in the compiled market.
@@ -191,39 +228,41 @@ impl MenuIndex {
 
     /// Number of items in the compiled market.
     pub fn n_items(&self) -> usize {
-        self.store.n_items
+        self.store.shape.n_items
     }
 
     /// Total number of offer nodes (all tree nodes; under pure bundling
     /// every node is a root).
     pub fn n_nodes(&self) -> usize {
-        self.store.prices.len()
+        self.store.shape.prices.len()
     }
 
     /// Number of offers actually on sale: roots under pure bundling,
     /// every node under mixed bundling.
     pub fn n_offers(&self) -> usize {
-        match self.store.strategy {
-            Strategy::Pure => self.store.roots.len(),
+        match self.store.shape.strategy {
+            Strategy::Pure => self.store.shape.roots.len(),
             Strategy::Mixed => self.n_nodes(),
         }
     }
 
     /// Top-level offer node ids, in configuration root order.
     pub fn roots(&self) -> &[u32] {
-        &self.store.roots
+        &self.store.shape.roots
     }
 
     /// Item ids of offer node `node`, strictly ascending.
     pub fn items(&self, node: u32) -> &[u32] {
-        let (lo, hi) =
-            (self.store.node_indptr[node as usize], self.store.node_indptr[node as usize + 1]);
-        &self.store.node_items[lo..hi]
+        let (lo, hi) = (
+            self.store.shape.node_indptr[node as usize],
+            self.store.shape.node_indptr[node as usize + 1],
+        );
+        &self.store.shape.node_items[lo..hi]
     }
 
     /// Price of offer node `node`.
     pub fn price(&self, node: u32) -> f64 {
-        self.store.prices[node as usize]
+        self.store.shape.prices[node as usize]
     }
 
     /// Every user id of the compiled market, ascending — the canonical
@@ -270,8 +309,8 @@ mod tests {
         assert_eq!(idx.price(0), 8.0);
         assert_eq!(idx.price(1), 11.0);
         assert_eq!(idx.price(2), 12.0);
-        assert_eq!(idx.store.subtree_start, vec![0, 1, 0]);
-        assert_eq!(idx.store.n_children, vec![0, 0, 2]);
+        assert_eq!(idx.store.shape.subtree_start, vec![0, 1, 0]);
+        assert_eq!(idx.store.shape.n_children, vec![0, 0, 2]);
         assert_eq!(idx.n_offers(), 3); // mixed: every node on sale
     }
 
@@ -280,7 +319,8 @@ mod tests {
         let m = table1();
         let idx = MenuIndex::compile(&m, &mixed_config());
         let post = |i: usize| {
-            &idx.store.post_nodes[idx.store.post_indptr[i]..idx.store.post_indptr[i + 1]]
+            &idx.store.shape.post_nodes
+                [idx.store.shape.post_indptr[i]..idx.store.shape.post_indptr[i + 1]]
         };
         assert_eq!(post(0), &[0, 2]); // item 0 ∈ leaf 0 and the bundle
         assert_eq!(post(1), &[1, 2]);

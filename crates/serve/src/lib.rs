@@ -15,6 +15,10 @@
 //!   fanned out on [`revmax_par`] under the §6 determinism contract:
 //!   fixed chunks, ordered reduction, **bit-identical at any thread
 //!   count** — and per-user bit-identical to solver-side evaluation.
+//! * [`MenuIndex::rebind`] / [`ServeHandle`] — the churn path
+//!   (`DESIGN.md` §10): re-bind a compiled menu to a churned market
+//!   (sharing the flattened offer forest by `Arc`) and hot-swap it under
+//!   live traffic without tearing in-flight query batches.
 //! * [`compile_sweep_cell`] — one call from any sweep cell of a
 //!   [`SweepReport`] (whole-market or
 //!   cohort) to a servable index: the engine rebuilds the cell's exact
@@ -43,9 +47,11 @@
 
 pub mod index;
 pub mod query;
+pub mod swap;
 
 pub use index::MenuIndex;
 pub use query::{solver_user_revenue, Assignment};
+pub use swap::ServeHandle;
 
 use revmax_core::market::Market;
 use revmax_engine::report::SweepReport;
