@@ -89,6 +89,14 @@ impl LiveReport {
             .find(|c| c.cohort == Cohort::Whole && c.method == method)
             .map(|c| c.revenue)
     }
+
+    /// The primary whole-market cell — first method, whole cohort: the
+    /// cell whose winning configuration the serving daemon compiles and
+    /// hot-swaps after every churn batch (`DESIGN.md` §11). `None` only
+    /// for an empty report.
+    pub fn whole_cell(&self) -> Option<&LiveCell> {
+        self.cells.iter().find(|c| c.cohort == Cohort::Whole)
+    }
 }
 
 /// A retained incremental solver: construct once, [`LiveEngine::resolve`]
@@ -126,6 +134,17 @@ impl LiveEngine {
             prev_keys: Vec::new(),
             prev_fps: Vec::new(),
         })
+    }
+
+    /// Canonical (registry-spelled) method names this engine solves, in
+    /// cell-axis order.
+    pub fn methods(&self) -> &[String] {
+        &self.methods
+    }
+
+    /// Activity-cohort count (`0` = whole market only).
+    pub fn cohorts(&self) -> usize {
+        self.cohorts
     }
 
     /// Cumulative cache statistics across every resolve so far.
@@ -315,8 +334,14 @@ mod tests {
     #[test]
     fn whole_revenue_finds_the_headline_cell() {
         let mut eng = LiveEngine::new(&["components"], 1).unwrap();
+        assert_eq!(eng.methods(), &["Components".to_string()]);
+        assert_eq!(eng.cohorts(), 1);
         let report = eng.resolve(&tiny_market()).unwrap();
         assert_eq!(report.whole_revenue("Components"), Some(report.cells[0].revenue));
         assert_eq!(report.whole_revenue("nope"), None);
+        let whole = report.whole_cell().unwrap();
+        assert_eq!(whole.cohort, Cohort::Whole);
+        assert_eq!(whole.method, "Components");
+        assert_eq!(whole.revenue, report.cells[0].revenue);
     }
 }

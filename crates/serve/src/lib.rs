@@ -45,12 +45,16 @@
 //! assert!((revenue - solved.revenue).abs() < 1e-9);
 //! ```
 
+pub mod daemon;
 pub mod index;
+pub mod proto;
 pub mod query;
 pub mod swap;
 
+pub use daemon::{Daemon, DaemonConfig, LatencyHistogram};
 pub use index::MenuIndex;
-pub use query::{solver_user_revenue, Assignment};
+pub use proto::{DaemonStats, ErrorCode, ProtoError, Request, Response, UserSel};
+pub use query::{chunked_payment_fold, solver_user_revenue, Assignment, QueryError};
 pub use swap::ServeHandle;
 
 use revmax_core::market::Market;

@@ -41,6 +41,32 @@ use revmax_core::config::Strategy;
 use revmax_core::market::Market;
 use revmax_par::{effective_chunk_size, par_chunks_map_reduce, par_index_map};
 
+/// A query rejected before evaluation. The serving daemon turns these
+/// into protocol error responses; nothing in the query path panics on
+/// malformed input (`DESIGN.md` §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// A queried user id is not a consumer of the compiled market.
+    UserOutOfRange {
+        /// The first offending id of the batch.
+        user: u32,
+        /// Consumer count of the compiled market.
+        n_users: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            QueryError::UserOutOfRange { user, n_users } => {
+                write!(f, "user {user} out of range for a {n_users}-consumer market")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
 /// One consumer's menu outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
@@ -85,16 +111,33 @@ impl ServeScratch {
 }
 
 impl MenuIndex {
+    /// Reject any queried id that is not a consumer of the compiled
+    /// market, naming the first offender. The scan is separate from the
+    /// evaluation loops (which stay branch-free for valid batches): a
+    /// single branch-free max-fold over the batch, and only on failure a
+    /// second pass to find the first offending id for the error.
+    pub fn validate_users(&self, users: &[u32]) -> Result<(), QueryError> {
+        let n_users = self.store.n_users;
+        let max = users.iter().copied().fold(0u32, u32::max);
+        if users.is_empty() || (max as usize) < n_users {
+            return Ok(());
+        }
+        let user = users.iter().copied().find(|&u| u as usize >= n_users).unwrap_or(max);
+        Err(QueryError::UserOutOfRange { user, n_users })
+    }
+
     /// Batched assignment: for every queried user, which menu entries they
     /// adopt (threshold outcome) and their expected payment. Users are
     /// evaluated independently over fixed-size blocks
     /// ([`revmax_par::effective_chunk_size`]) fanned out on `revmax-par`;
     /// results are returned in query order and are bit-identical at any
-    /// thread count.
-    pub fn assign(&self, users: &[u32]) -> Vec<Assignment> {
+    /// thread count. Out-of-range ids are rejected up front as a typed
+    /// [`QueryError`] — a malformed batch never panics the serving path.
+    pub fn try_assign(&self, users: &[u32]) -> Result<Vec<Assignment>, QueryError> {
+        self.validate_users(users)?;
         let store = &*self.store;
         if users.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let chunk = effective_chunk_size(users.len(), 0);
         let n_chunks = users.len().div_ceil(chunk);
@@ -110,16 +153,46 @@ impl MenuIndex {
                 })
                 .collect()
         });
-        parts.into_iter().flatten().collect()
+        Ok(parts.into_iter().flatten().collect())
+    }
+
+    /// [`MenuIndex::try_assign`], panicking on an invalid batch. Prefer
+    /// the fallible variant anywhere input is not trusted.
+    pub fn assign(&self, users: &[u32]) -> Vec<Assignment> {
+        self.try_assign(users).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Per-user expected payments of the queried users, in query order —
+    /// [`MenuIndex::try_assign`] without materializing the held-offer
+    /// lists. `try_expected_revenue(users)` is exactly
+    /// [`chunked_payment_fold`] over this vector; the daemon's coalesced
+    /// revenue path relies on that identity (`DESIGN.md` §11).
+    pub fn try_payments(&self, users: &[u32]) -> Result<Vec<f64>, QueryError> {
+        self.validate_users(users)?;
+        let store = &*self.store;
+        if users.is_empty() {
+            return Ok(Vec::new());
+        }
+        let chunk = effective_chunk_size(users.len(), 0);
+        let n_chunks = users.len().div_ceil(chunk);
+        let parts: Vec<Vec<f64>> = par_index_map(self.threads, n_chunks, |k| {
+            let lo = k * chunk;
+            let hi = (lo + chunk).min(users.len());
+            let mut scratch = ServeScratch::new(store);
+            users[lo..hi].iter().map(|&u| eval_user(store, &mut scratch, u, false).0).collect()
+        });
+        Ok(parts.into_iter().flatten().collect())
     }
 
     /// Batched expected revenue of the menu over the queried users: the
     /// fixed-chunk ordered fold of the per-user expected payments (each
     /// bit-identical to solver-side evaluation of that single consumer).
-    /// Bit-identical at any thread count (`DESIGN.md` §6/§9).
-    pub fn expected_revenue(&self, users: &[u32]) -> f64 {
+    /// Bit-identical at any thread count (`DESIGN.md` §6/§9); rejects
+    /// out-of-range ids as a typed [`QueryError`] instead of panicking.
+    pub fn try_expected_revenue(&self, users: &[u32]) -> Result<f64, QueryError> {
+        self.validate_users(users)?;
         let store = &*self.store;
-        par_chunks_map_reduce(
+        Ok(par_chunks_map_reduce(
             self.threads,
             users,
             0,
@@ -133,14 +206,90 @@ impl MenuIndex {
             },
             0.0f64,
             |a, s| a + s,
-        )
+        ))
+    }
+
+    /// [`MenuIndex::try_expected_revenue`], panicking on an invalid
+    /// batch. Prefer the fallible variant anywhere input is not trusted.
+    pub fn expected_revenue(&self, users: &[u32]) -> f64 {
+        self.try_expected_revenue(users).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// [`MenuIndex::expected_revenue`] over every consumer of the
-    /// compiled market.
+    /// compiled market, without materializing the id batch: chunk
+    /// boundaries are computed directly over `0..n_users`, reproducing
+    /// `expected_revenue(&all_users())` bit for bit (same
+    /// [`effective_chunk_size`] boundaries, same ordered fold) with zero
+    /// per-call allocation — the daemon's hottest whole-market path.
     pub fn expected_revenue_all(&self) -> f64 {
-        self.expected_revenue(&self.all_users())
+        let store = &*self.store;
+        let n = store.n_users;
+        if n == 0 {
+            return 0.0;
+        }
+        let chunk = effective_chunk_size(n, 0);
+        let n_chunks = n.div_ceil(chunk);
+        let partials = par_index_map(self.threads, n_chunks, |k| {
+            let lo = k * chunk;
+            let hi = (lo + chunk).min(n);
+            let mut scratch = ServeScratch::new(store);
+            let mut total = 0.0;
+            for u in lo..hi {
+                total += eval_user(store, &mut scratch, u as u32, false).0;
+            }
+            total
+        });
+        partials.into_iter().fold(0.0f64, |a, s| a + s)
     }
+
+    /// [`MenuIndex::assign`] over every consumer of the compiled market,
+    /// without materializing the id batch (same boundary/fold identity as
+    /// [`MenuIndex::expected_revenue_all`]).
+    pub fn assign_all(&self) -> Vec<Assignment> {
+        let store = &*self.store;
+        let n = store.n_users;
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunk = effective_chunk_size(n, 0);
+        let n_chunks = n.div_ceil(chunk);
+        let parts: Vec<Vec<Assignment>> = par_index_map(self.threads, n_chunks, |k| {
+            let lo = k * chunk;
+            let hi = (lo + chunk).min(n);
+            let mut scratch = ServeScratch::new(store);
+            (lo..hi)
+                .map(|u| {
+                    let (payment, offers) = eval_user(store, &mut scratch, u as u32, true);
+                    Assignment { user: u as u32, payment, offers }
+                })
+                .collect()
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// The exact reduction [`MenuIndex::expected_revenue`] applies to the
+/// per-user payments of a batch: fixed [`effective_chunk_size`] blocks,
+/// each summed left to right from `+0.0`, block partials folded left to
+/// right from `+0.0`. Given `payments = try_payments(users)?`, this
+/// returns `try_expected_revenue(users)?` to the bit — which is what lets
+/// the daemon answer several coalesced revenue requests from one shared
+/// evaluation pass without perturbing any request's result.
+pub fn chunked_payment_fold(payments: &[f64]) -> f64 {
+    if payments.is_empty() {
+        return 0.0;
+    }
+    let chunk = effective_chunk_size(payments.len(), 0);
+    payments
+        .chunks(chunk)
+        .map(|c| {
+            let mut total = 0.0f64;
+            for &p in c {
+                total += p;
+            }
+            total
+        })
+        .fold(0.0f64, |a, s| a + s)
 }
 
 /// Evaluate one consumer against the menu. Returns their expected payment
@@ -153,7 +302,9 @@ fn eval_user(
     user: u32,
     collect: bool,
 ) -> (f64, Vec<u32>) {
-    assert!(
+    // Public entry points validate the batch up front (`validate_users`),
+    // so the hot loop carries no per-user bounds branch in release builds.
+    debug_assert!(
         (user as usize) < store.n_users,
         "user {user} out of range for a {}-consumer market",
         store.n_users
@@ -488,5 +639,73 @@ mod tests {
     fn out_of_range_user_is_rejected() {
         let idx = MenuIndex::compile(&table1(), &components());
         idx.expected_revenue(&[9]);
+    }
+
+    #[test]
+    fn out_of_range_user_is_a_typed_error_not_a_panic() {
+        let idx = MenuIndex::compile(&table1(), &components());
+        // The daemon's edge: a malformed batch must come back as a value.
+        let err = idx.try_assign(&[0, 2, 9, 11]).unwrap_err();
+        assert_eq!(err, QueryError::UserOutOfRange { user: 9, n_users: 3 });
+        assert_eq!(err.to_string(), "user 9 out of range for a 3-consumer market");
+        assert_eq!(
+            idx.try_expected_revenue(&[3]),
+            Err(QueryError::UserOutOfRange { user: 3, n_users: 3 })
+        );
+        assert_eq!(
+            idx.try_payments(&[u32::MAX]).unwrap_err(),
+            QueryError::UserOutOfRange { user: u32::MAX, n_users: 3 }
+        );
+        // Valid batches (including empty) still pass.
+        assert!(idx.validate_users(&[]).is_ok());
+        assert!(idx.validate_users(&[2, 0, 1]).is_ok());
+        assert_eq!(idx.try_expected_revenue(&[0]).unwrap(), idx.expected_revenue(&[0]));
+    }
+
+    #[test]
+    fn whole_market_paths_skip_the_id_batch_but_keep_the_bits() {
+        let m = table1();
+        for config in [components(), mixed_tree()] {
+            let idx = MenuIndex::compile(&m, &config);
+            let users = idx.all_users();
+            assert_eq!(
+                idx.expected_revenue_all().to_bits(),
+                idx.expected_revenue(&users).to_bits()
+            );
+            assert_eq!(idx.assign_all(), idx.assign(&users));
+        }
+        // Degenerate: a zero-consumer market serves zero revenue.
+        let empty = Market::new(
+            revmax_core::wtp::WtpMatrix::from_triples(0, 2, vec![], None),
+            Params::default(),
+        );
+        let idx = MenuIndex::compile(&empty, &components());
+        assert_eq!(idx.expected_revenue_all(), 0.0);
+        assert!(idx.assign_all().is_empty());
+    }
+
+    #[test]
+    fn payment_fold_reproduces_expected_revenue_bitwise() {
+        let w = WtpMatrix::from_rows(
+            (0..257).map(|k| vec![(k % 13) as f64 + 0.25, (k % 7) as f64 * 0.5]).collect(),
+        );
+        let m = Market::new(w, Params::default().with_gamma(1.5));
+        let idx = MenuIndex::compile(&m, &mixed_tree());
+        let users = idx.all_users();
+        let payments = idx.try_payments(&users).unwrap();
+        assert_eq!(payments.len(), users.len());
+        assert_eq!(
+            chunked_payment_fold(&payments).to_bits(),
+            idx.expected_revenue(&users).to_bits()
+        );
+        // Sub-batch identity — the coalescing rule: any request's revenue
+        // folds from the shared per-user payments of the combined batch.
+        let sub = &users[19..193];
+        let sub_payments = &payments[19..193];
+        assert_eq!(
+            chunked_payment_fold(sub_payments).to_bits(),
+            idx.expected_revenue(sub).to_bits()
+        );
+        assert_eq!(chunked_payment_fold(&[]), 0.0);
     }
 }

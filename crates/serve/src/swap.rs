@@ -36,15 +36,23 @@ impl ServeHandle {
     /// Snapshot the currently-served index. The snapshot stays valid (and
     /// bit-stable) for as long as the caller holds it, across any number
     /// of concurrent swaps.
+    ///
+    /// Lock poisoning is recovered, not propagated: the slot holds a
+    /// single `Arc` that is only ever replaced wholesale under the write
+    /// guard, so even if a writer panicked mid-[`ServeHandle::swap`] the
+    /// stored value is internally consistent (either the old index or the
+    /// new one) — a daemon must not let one panicking deploy thread kill
+    /// every subsequent reader.
     pub fn current(&self) -> Arc<MenuIndex> {
-        Arc::clone(&self.slot.read().expect("serve slot poisoned"))
+        Arc::clone(&self.slot.read().unwrap_or_else(|poisoned| poisoned.into_inner()))
     }
 
     /// Atomically replace the served index with its successor and bump the
     /// generation. In-flight readers keep their snapshot; new readers see
-    /// `index`. Returns the new generation number.
+    /// `index`. Returns the new generation number. Recovers a poisoned
+    /// slot the same way [`ServeHandle::current`] does.
     pub fn swap(&self, index: MenuIndex) -> u64 {
-        let mut slot = self.slot.write().expect("serve slot poisoned");
+        let mut slot = self.slot.write().unwrap_or_else(|poisoned| poisoned.into_inner());
         *slot = Arc::new(index);
         self.generation.fetch_add(1, Ordering::AcqRel) + 1
     }
@@ -104,6 +112,30 @@ mod tests {
             clone.current().expected_revenue_all().to_bits(),
             handle.current().expected_revenue_all().to_bits()
         );
+    }
+
+    #[test]
+    fn poisoned_slot_recovers_for_readers_and_writers() {
+        let (_, a) = table1_index(1.0);
+        let (_, b) = table1_index(2.0);
+        let rev_a = a.expected_revenue_all();
+        let rev_b = b.expected_revenue_all();
+        let handle = ServeHandle::new(a);
+
+        // Poison the slot: a thread panics while holding the write guard.
+        let writer = handle.clone();
+        let t = std::thread::spawn(move || {
+            let _guard = writer.slot.write().unwrap();
+            panic!("deploy thread dies mid-swap");
+        });
+        assert!(t.join().is_err());
+        assert!(handle.slot.is_poisoned());
+
+        // Readers recover the (still-consistent) stored index...
+        assert_eq!(handle.current().expected_revenue_all().to_bits(), rev_a.to_bits());
+        // ...and writers can still deploy successors over the poison.
+        assert_eq!(handle.swap(b), 1);
+        assert_eq!(handle.current().expected_revenue_all().to_bits(), rev_b.to_bits());
     }
 
     #[test]

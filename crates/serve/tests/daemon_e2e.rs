@@ -1,0 +1,247 @@
+//! End-to-end daemon test (`DESIGN.md` §11): a real `Daemon` on an
+//! ephemeral port, concurrent query clients over real sockets, a mutation
+//! client churning the market mid-flight — and the tentpole guarantees
+//! checked at the wire:
+//!
+//! * zero dropped queries across however many hot swaps happen,
+//! * post-churn `ExpectedRevenue(All)` / `Assign(All)` **bit-identical**
+//!   to a cold rebuild (compact → fresh solve → fresh compile) of the
+//!   same event history,
+//! * malformed frames and out-of-range ids answer typed errors and never
+//!   kill the process,
+//! * `Shutdown` drains and `Daemon::join` returns.
+
+use revmax_core::market::Market;
+use revmax_core::marketlog::{Event, MarketLog};
+use revmax_engine::{LiveEngine, ScaleSpec};
+use revmax_serve::proto::{self, Request, Response, UserSel};
+use revmax_serve::{Daemon, DaemonConfig, ErrorCode, MenuIndex};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn tiny_market() -> Market {
+    let data = ScaleSpec::Tiny.config().generate(2015);
+    revmax_engine::market_from_data(&data, 0.05)
+}
+
+fn spawn_daemon(cfg: DaemonConfig) -> Daemon {
+    Daemon::spawn("127.0.0.1:0", tiny_market(), cfg).expect("daemon spawns")
+}
+
+fn connect(daemon: &Daemon) -> TcpStream {
+    let s = TcpStream::connect(daemon.addr()).expect("connect to daemon");
+    s.set_nodelay(true).unwrap();
+    s
+}
+
+/// Deterministic churn: bump every `stride`-th consumer's first-rated
+/// item by `bump`.
+fn bump_events(market: &Market, stride: usize, bump: f64) -> Vec<Event> {
+    let w = market.wtp();
+    (0..market.n_users())
+        .step_by(stride)
+        .filter_map(|u| {
+            let row = w.row(u as u32);
+            row.ids.first().map(|&item| Event::UpsertWtp {
+                user: u as u32,
+                item,
+                wtp: row.values[0] * bump,
+            })
+        })
+        .collect()
+}
+
+/// Wait until the daemon has drained `events` mutations (applied or
+/// rejected), so the served state is a pure function of the history.
+fn quiesce(stream: &mut TcpStream, events: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match proto::roundtrip(stream, &Request::SwapStats).expect("stats poll") {
+            Response::Stats(s) if s.mutations_applied + s.mutations_rejected >= events => return,
+            Response::Stats(_) => {
+                assert!(Instant::now() < deadline, "churn did not drain within 30s");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn served_state_is_bit_identical_to_a_cold_rebuild_across_hot_swaps() {
+    let daemon = spawn_daemon(DaemonConfig {
+        workers: 2,
+        queue_cap: 64,
+        coalesce: 8,
+        ..DaemonConfig::default()
+    });
+    let base = tiny_market();
+    let n_users = base.n_users() as u32;
+
+    // Concurrent query clients hammer point queries over real sockets
+    // while the mutations land. Every request must get a response.
+    let addr = daemon.addr();
+    let clients: Vec<_> = (0..3)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("client connect");
+                stream.set_nodelay(true).unwrap();
+                let mut answered = 0u64;
+                for r in 0..120u32 {
+                    let ids: Vec<u32> = (0..8).map(|k| (r * 13 + k * 7 + c) % n_users).collect();
+                    let req = if r % 2 == 0 {
+                        Request::ExpectedRevenue(UserSel::Ids(ids))
+                    } else {
+                        Request::Assign(UserSel::Ids(ids))
+                    };
+                    match proto::roundtrip(&mut stream, &req).expect("query answered") {
+                        Response::Revenue(x) => assert!(x.is_finite()),
+                        Response::Assignments(a) => assert_eq!(a.len(), 8),
+                        Response::Error { code: ErrorCode::Overloaded, .. } => {}
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                    answered += 1;
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // The mutation client: two batches, mirrored into a local log.
+    let mut log = MarketLog::new(base);
+    let mut stream = connect(&daemon);
+    let mut sent = 0u64;
+    for (stride, bump) in [(5usize, 1.10), (3usize, 1.25)] {
+        let events = bump_events(log.base(), stride, bump);
+        assert!(!events.is_empty());
+        sent += events.len() as u64;
+        match proto::roundtrip(&mut stream, &Request::MutateMarket(events.clone())).unwrap() {
+            Response::MutateAck { accepted, .. } => assert_eq!(accepted, events.len() as u64),
+            other => panic!("expected MutateAck, got {other:?}"),
+        }
+        for ev in events {
+            log.apply(ev).expect("events valid on both sides");
+        }
+    }
+
+    for c in clients {
+        assert_eq!(c.join().expect("client thread"), 120, "zero dropped queries");
+    }
+    quiesce(&mut stream, sent);
+    assert!(daemon.handle().generation() >= 1, "mutations must hot-swap the index");
+
+    // Cold rebuild of the identical history: compact arena, fresh engine,
+    // fresh compile — the daemon's answers must match it bit for bit.
+    let churned = log.snapshot();
+    let cold_market = churned.with_wtp(churned.wtp().compact());
+    let mut engine = LiveEngine::new(&["components"], 0).unwrap();
+    let report = engine.resolve(&cold_market).unwrap();
+    let cold_index = MenuIndex::compile(&cold_market, &report.whole_cell().unwrap().outcome.config);
+
+    match proto::roundtrip(&mut stream, &Request::ExpectedRevenue(UserSel::All)).unwrap() {
+        Response::Revenue(served) => assert_eq!(
+            served.to_bits(),
+            cold_index.expected_revenue_all().to_bits(),
+            "served revenue must be bit-identical to the cold rebuild"
+        ),
+        other => panic!("expected Revenue, got {other:?}"),
+    }
+    match proto::roundtrip(&mut stream, &Request::Assign(UserSel::All)).unwrap() {
+        Response::Assignments(served) => assert_eq!(served, cold_index.assign_all()),
+        other => panic!("expected Assignments, got {other:?}"),
+    }
+
+    // Clean wire-driven shutdown: Bye, then every thread joins.
+    match proto::roundtrip(&mut stream, &Request::Shutdown).unwrap() {
+        Response::Bye => {}
+        other => panic!("expected Bye, got {other:?}"),
+    }
+    daemon.join();
+}
+
+#[test]
+fn hostile_frames_and_bad_ids_get_typed_errors_not_a_dead_process() {
+    let daemon = spawn_daemon(DaemonConfig::default());
+    let n_users = daemon.handle().current().n_users() as u32;
+
+    // Garbage opcode inside a valid frame: typed Malformed, connection
+    // keeps serving.
+    let mut stream = connect(&daemon);
+    proto::write_frame(&mut stream, &[0xEE, 7, 7]).unwrap();
+    match proto::decode_response(
+        &proto::read_frame(&mut stream, proto::MAX_FRAME).unwrap().unwrap(),
+    )
+    .unwrap()
+    {
+        Response::Error { code: ErrorCode::Malformed, .. } => {}
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    match proto::roundtrip(&mut stream, &Request::SwapStats).unwrap() {
+        Response::Stats(s) => assert!(s.malformed >= 1),
+        other => panic!("connection should survive: {other:?}"),
+    }
+
+    // Out-of-range user id: typed Query error naming the id, and the
+    // connection keeps serving in-range queries.
+    match proto::roundtrip(&mut stream, &Request::Assign(UserSel::Ids(vec![0, n_users]))).unwrap() {
+        Response::Error { code: ErrorCode::Query, message } => {
+            assert!(message.contains("out of range"), "{message}");
+        }
+        other => panic!("expected Query error, got {other:?}"),
+    }
+    match proto::roundtrip(&mut stream, &Request::ExpectedRevenue(UserSel::Ids(vec![0]))).unwrap() {
+        Response::Revenue(x) => assert!(x.is_finite()),
+        other => panic!("expected Revenue, got {other:?}"),
+    }
+
+    // Hostile 2 GiB length prefix: answered with Malformed, then hung up
+    // (the stream offset is unrecoverable) — but the daemon lives on.
+    let mut hostile = connect(&daemon);
+    hostile.write_all(&0x7FFF_FFFFu32.to_le_bytes()).unwrap();
+    match proto::decode_response(
+        &proto::read_frame(&mut hostile, proto::MAX_FRAME).unwrap().unwrap(),
+    )
+    .unwrap()
+    {
+        Response::Error { code: ErrorCode::Malformed, message } => {
+            assert!(message.contains("exceeds"), "{message}");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    assert!(
+        proto::read_frame(&mut hostile, proto::MAX_FRAME).unwrap().is_none(),
+        "daemon hangs up after an unrecoverable frame"
+    );
+
+    let mut fresh = connect(&daemon);
+    match proto::roundtrip(&mut fresh, &Request::SwapStats).unwrap() {
+        Response::Stats(s) => assert!(s.malformed >= 2),
+        other => panic!("daemon must still serve fresh connections: {other:?}"),
+    }
+
+    daemon.request_shutdown();
+    daemon.join();
+}
+
+#[test]
+fn process_side_shutdown_drains_and_joins() {
+    let daemon = spawn_daemon(DaemonConfig { workers: 1, ..DaemonConfig::default() });
+    let mut stream = connect(&daemon);
+    match proto::roundtrip(&mut stream, &Request::ExpectedRevenue(UserSel::All)).unwrap() {
+        Response::Revenue(x) => assert!(x.is_finite()),
+        other => panic!("expected Revenue, got {other:?}"),
+    }
+    daemon.request_shutdown();
+    daemon.join();
+
+    // A new query on the old connection either fails outright (the
+    // connection thread exited) or answers ShuttingDown — it is never
+    // silently executed against a drained daemon.
+    let followup = proto::roundtrip(&mut stream, &Request::ExpectedRevenue(UserSel::All));
+    match followup {
+        Err(_) => {}
+        Ok(Response::Error { code: ErrorCode::ShuttingDown, .. }) => {}
+        Ok(other) => panic!("drained daemon answered a query: {other:?}"),
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests for the wire protocol (`DESIGN.md` §11): every
+//! request/response survives an encode → decode → encode round trip
+//! **byte-identical** (f64 payloads travel as raw bits, so NaN payments
+//! and negative zeros are preserved too), and no input — truncated,
+//! bit-flipped, or pure garbage — makes a decoder panic or allocate past
+//! the frame it was handed. The daemon's crash-proof-edges guarantee
+//! starts here: a connection thread may feed these decoders anything a
+//! hostile peer writes.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use revmax_core::marketlog::Event;
+use revmax_serve::proto::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    DaemonStats, ErrorCode, Request, Response, UserSel, MAX_FRAME,
+};
+use revmax_serve::Assignment;
+use std::io::Cursor;
+
+/// Raw bit patterns: hits NaNs, infinities, subnormals, -0.0 — the wire
+/// must carry all of them unchanged.
+fn arb_f64() -> impl Strategy<Value = f64> {
+    (0u64..=u64::MAX).prop_map(f64::from_bits)
+}
+
+fn arb_user_sel() -> impl Strategy<Value = UserSel> {
+    (0u8..2).prop_flat_map(|tag| {
+        vec(0u32..=u32::MAX, 0..20).prop_map(move |ids| {
+            if tag == 0 {
+                UserSel::All
+            } else {
+                UserSel::Ids(ids)
+            }
+        })
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (0u8..6, 0u32..=u32::MAX, 0u32..=u32::MAX, arb_f64(), 0u8..2).prop_map(
+        |(tag, user, item, wtp, opt)| match tag {
+            0 => Event::UpsertWtp { user, item, wtp },
+            1 => Event::DeleteWtp { user, item },
+            2 => Event::AddUser,
+            3 => Event::AddItem { listed_price: (opt == 1).then_some(wtp) },
+            4 => Event::RetireUser { user },
+            _ => Event::RetireItem { item },
+        },
+    )
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0u8..5, arb_user_sel(), vec(arb_event(), 0..12)).prop_map(|(tag, sel, events)| match tag {
+        0 => Request::Assign(sel),
+        1 => Request::ExpectedRevenue(sel),
+        2 => Request::MutateMarket(events),
+        3 => Request::SwapStats,
+        _ => Request::Shutdown,
+    })
+}
+
+fn arb_assignment() -> impl Strategy<Value = Assignment> {
+    (0u32..=u32::MAX, arb_f64(), vec(0u32..=u32::MAX, 0..6))
+        .prop_map(|(user, payment, offers)| Assignment { user, payment, offers })
+}
+
+fn arb_message() -> impl Strategy<Value = String> {
+    // Printable ASCII; the codec length-prefixes raw UTF-8 bytes.
+    vec(0x20u8..0x7F, 0..60).prop_map(|bytes| String::from_utf8(bytes).unwrap())
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    let code = (0u8..5).prop_map(|c| match c {
+        0 => ErrorCode::Malformed,
+        1 => ErrorCode::Query,
+        2 => ErrorCode::Mutation,
+        3 => ErrorCode::Overloaded,
+        _ => ErrorCode::ShuttingDown,
+    });
+    (
+        0u8..6,
+        vec(arb_assignment(), 0..10),
+        (arb_f64(), (0u64..=u64::MAX, 0u64..=u64::MAX)),
+        vec(0u64..=u64::MAX, 16..=16),
+        (code, arb_message()),
+    )
+        .prop_map(
+            |(tag, assignments, (revenue, (accepted, generation)), stats, (code, message))| {
+                match tag {
+                    0 => Response::Assignments(assignments),
+                    1 => Response::Revenue(revenue),
+                    2 => Response::MutateAck { accepted, generation },
+                    3 => Response::Stats(DaemonStats {
+                        generation: stats[0],
+                        n_users: stats[1],
+                        n_items: stats[2],
+                        served_assign: stats[3],
+                        served_revenue: stats[4],
+                        coalesced: stats[5],
+                        shed: stats[6],
+                        malformed: stats[7],
+                        mutations_applied: stats[8],
+                        mutations_rejected: stats[9],
+                        resolve_hits: stats[10],
+                        resolve_misses: stats[11],
+                        assign_p50_ns: stats[12],
+                        assign_p99_ns: stats[13],
+                        revenue_p50_ns: stats[14],
+                        revenue_p99_ns: stats[15],
+                    }),
+                    4 => Response::Error { code, message },
+                    _ => Response::Bye,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// encode → decode → encode is the identity on bytes (and therefore
+    /// decode is lossless, NaN payloads included).
+    #[test]
+    fn request_roundtrip_is_byte_identical(req in arb_request()) {
+        let bytes = encode_request(&req);
+        let back = decode_request(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(encode_request(&back), bytes);
+    }
+
+    #[test]
+    fn response_roundtrip_is_byte_identical(resp in arb_response()) {
+        let bytes = encode_response(&resp);
+        let back = decode_response(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(encode_response(&back), bytes);
+    }
+
+    /// Every strict prefix of a valid encoding is rejected as an error —
+    /// never a panic, never a silent partial decode.
+    #[test]
+    fn truncated_request_is_an_error_not_a_panic(req in arb_request(), cut in 0usize..1_000_000) {
+        let bytes = encode_request(&req);
+        if bytes.len() > 1 {
+            let cut = cut % (bytes.len() - 1);
+            prop_assert!(decode_request(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// A single flipped byte decodes to *something* or errors — the
+    /// decoder must stay total either way.
+    #[test]
+    fn bitflipped_frames_never_panic(
+        req in arb_request(),
+        pos in 0usize..1_000_000,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode_request(&req);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    /// Pure garbage never panics either decoder — including hostile
+    /// length/count fields that would otherwise drive allocations.
+    #[test]
+    fn garbage_never_panics(bytes in vec(0u8..=255, 0..200)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    /// Frame IO round trip through a buffer; truncating the framed bytes
+    /// anywhere yields a clean EOF (`Ok(None)`) only at the zero mark,
+    /// an error everywhere inside the frame.
+    #[test]
+    fn frame_io_roundtrip_and_truncation(payload in vec(0u8..=255, 0..300)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).expect("in-memory write");
+        let got = read_frame(&mut Cursor::new(&buf), MAX_FRAME).expect("frame reads back");
+        prop_assert_eq!(got, Some(payload));
+
+        for cut in 0..buf.len() {
+            match read_frame(&mut Cursor::new(&buf[..cut]), MAX_FRAME) {
+                Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only at a frame boundary"),
+                Ok(Some(_)) => prop_assert!(false, "truncated frame decoded at cut {}", cut),
+                Err(_) => {}
+            }
+        }
+    }
+}
