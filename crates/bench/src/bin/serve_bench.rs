@@ -11,13 +11,18 @@
 //! Keys (all `key=value`): `scale` (tiny|small|medium), `seed`, `theta`,
 //! `method` (registry name/alias), `factor` or `target_users` (clone
 //! multiplier — `target_users` picks the smallest factor reaching it),
-//! `threads` (CSV of serve fan-outs), `repeat` (timing repetitions),
-//! `json` (BENCH_JSON export path; the `BENCH_JSON` env var works too).
+//! `threads` (CSV of serve fan-outs), `kernel` (tiled|rows|both — `both`
+//! times each and cross-checks them bit-for-bit), `block` (tile block
+//! width, 0 = default), `repeat` (timing repetitions), `json` (BENCH_JSON
+//! export path; the `BENCH_JSON` env var works too).
 //!
 //! Verification (always on, exit 1 on violation):
 //!
-//! * **thread determinism** — `expected_revenue(all)` and `assign(all)`
-//!   must be bit-identical across every requested thread count (§6);
+//! * **kernel determinism** — `expected_revenue(all)` and `assign(all)`
+//!   must be bit-identical across every requested thread count (§6) *and*
+//!   across kernels (`DESIGN.md` §12): with `kernel=both`, every user's
+//!   payment bits and held-offer list are compared between the tile
+//!   kernel and the row-walk reference;
 //! * **clone linearity** — cloned consumers are identical, so the scaled
 //!   revenue must equal `factor ×` the base-market revenue (up to
 //!   summation reassociation);
@@ -33,7 +38,7 @@ use revmax_core::algorithms::by_name;
 use revmax_dataset::scale::clone_users;
 use revmax_engine::report::{write_bench_json, BenchEntry};
 use revmax_engine::ScaleSpec;
-use revmax_serve::MenuIndex;
+use revmax_serve::{KernelKind, MenuIndex};
 use std::time::Instant;
 
 struct Args {
@@ -44,6 +49,8 @@ struct Args {
     factor: Option<usize>,
     target_users: usize,
     threads: Vec<usize>,
+    kernels: Vec<KernelKind>,
+    block: usize,
     repeat: usize,
     json: Option<String>,
 }
@@ -57,6 +64,8 @@ fn parse_args() -> Args {
         factor: None,
         target_users: 1_000_000,
         threads: vec![1, 2, 8],
+        kernels: vec![KernelKind::Tiled],
+        block: 0,
         repeat: 3,
         json: std::env::var("BENCH_JSON").ok().filter(|p| !p.is_empty()),
     };
@@ -64,7 +73,8 @@ fn parse_args() -> Args {
         if arg == "--help" || arg == "-h" {
             eprintln!(
                 "usage: serve_bench [scale=small] [seed=2015] [theta=0] [method=mixed_greedy] \
-                 [factor=N | target_users=1000000] [threads=1,2,8] [repeat=3] [json=FILE]"
+                 [factor=N | target_users=1000000] [threads=1,2,8] [kernel=tiled|rows|both] \
+                 [block=N] [repeat=3] [json=FILE]"
             );
             std::process::exit(0);
         }
@@ -93,6 +103,15 @@ fn parse_args() -> Args {
                     fail("threads list is empty");
                 }
             }
+            "kernel" => {
+                args.kernels = match value.trim() {
+                    "both" => vec![KernelKind::Tiled, KernelKind::Rows],
+                    other => vec![KernelKind::parse(other).unwrap_or_else(|_| {
+                        fail(&format!("bad kernel '{value}' (tiled|rows|both)"))
+                    })],
+                };
+            }
+            "block" => args.block = parse_num(key, value),
             "repeat" => args.repeat = parse_num::<usize>(key, value).max(1),
             "json" => args.json = Some(value.into()),
             other => fail(&revmax_bench::cli::unknown_key_msg(
@@ -105,6 +124,8 @@ fn parse_args() -> Args {
                     "factor",
                     "target_users",
                     "threads",
+                    "kernel",
+                    "block",
                     "repeat",
                     "json",
                 ],
@@ -188,8 +209,9 @@ fn main() {
         timed(compile_reps, || MenuIndex::compile(&market, &outcome.config));
     entries.push(entry(format!("{prefix}/compile"), min, mean, max, compile_reps as u64));
     println!(
-        "compile: {} offer nodes, {} on sale ({:.3} ms)",
+        "compile: {} offer nodes in {} trees, {} on sale ({:.3} ms)",
         index.n_nodes(),
+        index.roots().len(),
         index.n_offers(),
         mean as f64 / 1e6
     );
@@ -198,56 +220,87 @@ fn main() {
     let n = users.len();
     let mut failures = 0usize;
 
-    // Batched expected revenue at every requested fan-out.
+    // Batched expected revenue and assignment at every requested kernel ×
+    // fan-out. All combinations must agree bit-for-bit: across thread
+    // counts (§6) and across kernels (`DESIGN.md` §12) — with
+    // `kernel=both` this is the tile-vs-rows parity gate CI runs.
     let mut revenue_bits: Option<u64> = None;
-    let mut assign_probe: Option<(f64, usize)> = None;
-    for &t in &args.threads {
-        let idx = index.clone().with_threads(t);
-        let (rev, min, mean, max) = timed(args.repeat, || idx.expected_revenue(&users));
-        entries.push(entry(
-            format!("{prefix}/expected_revenue_t{t}"),
-            min,
-            mean,
-            max,
-            args.repeat as u64,
-        ));
-        println!(
-            "expected_revenue t={t}: {:.2} in {:.1} ms (min) — {:.2}M users/s",
-            rev,
-            min as f64 / 1e6,
-            n as f64 / (min as f64 / 1e9) / 1e6
-        );
-        match revenue_bits {
-            None => revenue_bits = Some(rev.to_bits()),
-            Some(bits) if bits != rev.to_bits() => {
-                eprintln!(
-                    "FAIL: expected_revenue at {t} threads diverged: {rev} vs {}",
-                    f64::from_bits(bits)
-                );
-                failures += 1;
-            }
-            Some(_) => {}
-        }
-
-        // Batched assignment at the same fan-out (payments must agree
-        // with the revenue path; offer counts are load-bearing output).
-        let (assignments, min, mean, max) = timed(args.repeat, || idx.assign(&users));
-        entries.push(entry(format!("{prefix}/assign_t{t}"), min, mean, max, args.repeat as u64));
-        let offered: usize = assignments.iter().map(|a| a.offers.len()).sum();
-        let paid: f64 = assignments.iter().map(|a| a.payment).sum();
-        println!(
-            "assign           t={t}: {} assignments, {} held offers in {:.1} ms (min) — {:.2}M users/s",
-            assignments.len(),
-            offered,
-            min as f64 / 1e6,
-            n as f64 / (min as f64 / 1e9) / 1e6
-        );
-        match assign_probe {
-            None => assign_probe = Some((paid, offered)),
-            Some((p, o)) => {
-                if p.to_bits() != paid.to_bits() || o != offered {
-                    eprintln!("FAIL: assign at {t} threads diverged from the first fan-out");
+    let mut assign_baseline: Option<Vec<revmax_serve::Assignment>> = None;
+    for &kernel in &args.kernels {
+        // The tile kernel keeps the unsuffixed bench ids (`perf_check`
+        // gates those); the row-walk reference exports alongside.
+        let suffix = match kernel {
+            KernelKind::Tiled => "",
+            KernelKind::Rows => "_rows",
+        };
+        for &t in &args.threads {
+            let idx = index.clone().with_threads(t).with_kernel(kernel).with_block(args.block);
+            let (rev, min, mean, max) = timed(args.repeat, || idx.expected_revenue(&users));
+            entries.push(entry(
+                format!("{prefix}/expected_revenue_t{t}{suffix}"),
+                min,
+                mean,
+                max,
+                args.repeat as u64,
+            ));
+            println!(
+                "expected_revenue {:>5} t={t}: {:.2} in {:.1} ms (min) — {:.2}M users/s",
+                kernel.name(),
+                rev,
+                min as f64 / 1e6,
+                n as f64 / (min as f64 / 1e9) / 1e6
+            );
+            match revenue_bits {
+                None => revenue_bits = Some(rev.to_bits()),
+                Some(bits) if bits != rev.to_bits() => {
+                    eprintln!(
+                        "FAIL: expected_revenue ({} kernel, {t} threads) diverged: {rev} vs {}",
+                        kernel.name(),
+                        f64::from_bits(bits)
+                    );
                     failures += 1;
+                }
+                Some(_) => {}
+            }
+
+            // Batched assignment at the same combination. Per-user parity
+            // is the strong check: payment bits and the held-offer list
+            // must match the first combination exactly.
+            let (assignments, min, mean, max) = timed(args.repeat, || idx.assign(&users));
+            entries.push(entry(
+                format!("{prefix}/assign_t{t}{suffix}"),
+                min,
+                mean,
+                max,
+                args.repeat as u64,
+            ));
+            let offered: usize = assignments.iter().map(|a| a.offers.len()).sum();
+            println!(
+                "assign           {:>5} t={t}: {} assignments, {} held offers in {:.1} ms (min) — {:.2}M users/s",
+                kernel.name(),
+                assignments.len(),
+                offered,
+                min as f64 / 1e6,
+                n as f64 / (min as f64 / 1e9) / 1e6
+            );
+            match &assign_baseline {
+                None => assign_baseline = Some(assignments),
+                Some(base) => {
+                    let diverged = base
+                        .iter()
+                        .zip(&assignments)
+                        .filter(|(a, b)| {
+                            a.payment.to_bits() != b.payment.to_bits() || a.offers != b.offers
+                        })
+                        .count();
+                    if diverged > 0 {
+                        eprintln!(
+                            "FAIL: assign ({} kernel, {t} threads) diverged from the first \
+                             combination on {diverged} user(s)",
+                            kernel.name()
+                        );
+                        failures += 1;
+                    }
                 }
             }
         }

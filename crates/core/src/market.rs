@@ -23,6 +23,12 @@ pub struct Market {
 }
 
 impl Market {
+    /// User-id block width of the [`Market::bundle_user_sums`] merge
+    /// scatter. The accumulator lives on the stack (one cache line ×
+    /// `SUM_BLOCK / 8`), so the scatter never touches a market-sized
+    /// buffer; 64 matches the serve-side tile width (`DESIGN.md` §12).
+    pub const SUM_BLOCK: usize = 64;
+
     /// Create a market; validates the parameters. Pricing defaults to
     /// [`PriceMode::Exact`] (see `DESIGN.md`: exact is the `T→∞` limit of
     /// the paper's discretization and is used for headline numbers).
@@ -103,30 +109,64 @@ impl Market {
     }
 
     /// Per-user raw WTP sums over `items` (only users with a positive sum),
-    /// sorted by user id. A scatter loop over the contiguous CSR column
-    /// slices: O(Σ nnz of the item columns + sort of the touched set).
+    /// sorted by user id. Blocked merge-scatter over the contiguous CSR
+    /// column slices (`DESIGN.md` §12): user ids are processed in fixed
+    /// [`Market::SUM_BLOCK`]-sized blocks, each column's segment scattered
+    /// into a stack-resident block accumulator, then the block is emitted
+    /// in ascending order — O(Σ nnz + touched blocks × block), with no
+    /// market-sized accumulator and no sort of the touched set. Per user
+    /// the contributions still accumulate in item order from `+0.0`, and
+    /// `acc != 0.0 ⟺ touched` because every stored WTP is strictly
+    /// positive ([`crate::wtp::CsrBuilder`]'s ingestion invariant), so the
+    /// emitted pairs are bit-identical to the historical touched-set
+    /// scatter.
     pub fn bundle_user_sums<'a>(
         &self,
         items: &[u32],
         scratch: &'a mut Scratch,
     ) -> &'a [(u32, f64)] {
         scratch.pairs.clear();
-        for &i in items {
-            let col = self.wtp.col(i);
-            for (&u, &w) in col.ids.iter().zip(col.values) {
-                let slot = &mut scratch.acc[u as usize];
-                if *slot == 0.0 {
-                    scratch.touched.push(u);
+        if let [item] = items {
+            // Single-column bundle (leaf offers, the configurators' most
+            // frequent call): the column is already ascending with
+            // strictly positive values — it *is* the answer.
+            let col = self.wtp.col(*item);
+            scratch.pairs.extend(col.ids.iter().zip(col.values).map(|(&u, &w)| (u, w)));
+            return &scratch.pairs;
+        }
+        let cols: Vec<crate::wtp::SparseSlice<'_>> =
+            items.iter().map(|&i| self.wtp.col(i)).collect();
+        scratch.cursors.clear();
+        scratch.cursors.resize(cols.len(), 0);
+        let mut acc = [0.0f64; Market::SUM_BLOCK];
+        loop {
+            // Skip ahead to the next block any column still has entries in.
+            let mut next = usize::MAX;
+            for (&c, col) in scratch.cursors.iter().zip(&cols) {
+                if c < col.ids.len() {
+                    next = next.min(col.ids[c] as usize / Market::SUM_BLOCK);
                 }
-                *slot += w;
+            }
+            if next == usize::MAX {
+                break;
+            }
+            let base = next * Market::SUM_BLOCK;
+            let end = (base + Market::SUM_BLOCK) as u32;
+            // Scatter each column's block segment in item order, so every
+            // user's sum accumulates in exactly the historical order.
+            for (c, col) in scratch.cursors.iter_mut().zip(&cols) {
+                while *c < col.ids.len() && col.ids[*c] < end {
+                    acc[col.ids[*c] as usize - base] += col.values[*c];
+                    *c += 1;
+                }
+            }
+            for (j, slot) in acc.iter_mut().enumerate() {
+                if *slot != 0.0 {
+                    scratch.pairs.push(((base + j) as u32, *slot));
+                    *slot = 0.0;
+                }
             }
         }
-        scratch.touched.sort_unstable();
-        for &u in &scratch.touched {
-            scratch.pairs.push((u, scratch.acc[u as usize]));
-            scratch.acc[u as usize] = 0.0;
-        }
-        scratch.touched.clear();
         &scratch.pairs
     }
 
@@ -307,8 +347,8 @@ impl std::ops::Deref for MarketView {
 /// Reusable buffers for bundle WTP aggregation; one per thread of work.
 #[derive(Debug, Clone)]
 pub struct Scratch {
-    acc: Vec<f64>,
-    touched: Vec<u32>,
+    /// Per-column merge cursors of the blocked `bundle_user_sums` scatter.
+    cursors: Vec<usize>,
     /// Last `bundle_user_sums` result.
     pub pairs: Vec<(u32, f64)>,
     /// Last `bundle_wtps` result.
@@ -316,13 +356,15 @@ pub struct Scratch {
 }
 
 impl Scratch {
-    /// Buffers for a market of `n_users` consumers.
+    /// Buffers for a market of `n_users` consumers. The blocked scatter
+    /// keeps its accumulator on the stack, so the buffers no longer scale
+    /// with the market; the consumer count only pre-sizes the result
+    /// vectors.
     pub fn new(n_users: usize) -> Self {
         Scratch {
-            acc: vec![0.0; n_users],
-            touched: Vec::new(),
-            pairs: Vec::new(),
-            values: Vec::new(),
+            cursors: Vec::new(),
+            pairs: Vec::with_capacity(n_users.min(1 << 12)),
+            values: Vec::with_capacity(n_users.min(1 << 12)),
         }
     }
 }

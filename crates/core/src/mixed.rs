@@ -359,9 +359,11 @@ fn eval_node(
         // A leaf offer (single item, or a bundle sold with no sub-offers):
         // plain take-it-or-leave-it adoption on the bundle WTP.
         let size = node.bundle.len();
-        let sums = market.bundle_user_sums(node.bundle.items(), scratch).to_vec();
+        // The enumeration borrows the scratch-resident pairs directly —
+        // nothing below re-borrows `scratch`, so no clone is needed.
+        let sums = market.bundle_user_sums(node.bundle.items(), scratch);
         let mut states = Vec::new();
-        for (u, s) in sums {
+        for &(u, s) in sums {
             let w = params.set_wtp(s, size);
             if decide.adopt(&adoption, adoption.margin(w, node.price)) {
                 states.push(UserState {
@@ -380,11 +382,11 @@ fn eval_node(
         let cs = eval_node(market, c, scratch, decide);
         held = merge_states(&held, &cs);
     }
-    let sums = market.bundle_user_sums(node.bundle.items(), scratch).to_vec();
+    let sums = market.bundle_user_sums(node.bundle.items(), scratch);
     let size = node.bundle.len();
     let mut out = Vec::with_capacity(sums.len());
     let mut h = 0usize;
-    for &(u, s_b) in &sums {
+    for &(u, s_b) in sums {
         while h < held.len() && held[h].user < u {
             h += 1;
         }

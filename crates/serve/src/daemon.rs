@@ -147,6 +147,7 @@ impl LatencyHistogram {
 enum QueryKind {
     Assign,
     Revenue,
+    Marginal,
 }
 
 /// One admitted point query waiting for a worker.
@@ -155,6 +156,10 @@ struct Job {
     /// `None` = whole market (the allocation-free `*_all` paths);
     /// `Some` = an explicit id batch.
     ids: Option<Vec<u32>>,
+    /// `Marginal` only: the (offer, dprice) perturbation. Marginal jobs
+    /// never coalesce — two what-ifs rarely share a perturbation, and a
+    /// mixed batch would need one tile re-walk per distinct price table.
+    marginal: Option<(u32, f64)>,
     reply: mpsc::Sender<Response>,
     enqueued: Instant,
 }
@@ -197,10 +202,14 @@ impl JobQueue {
         loop {
             if let Some(first) = q.pop_front() {
                 let mut batch = vec![first];
-                if batch[0].ids.is_some() {
+                if batch[0].ids.is_some() && batch[0].marginal.is_none() {
                     while batch.len() <= max_extra {
                         match q.front() {
-                            Some(j) if j.kind == batch[0].kind && j.ids.is_some() => {
+                            Some(j)
+                                if j.kind == batch[0].kind
+                                    && j.ids.is_some()
+                                    && j.marginal.is_none() =>
+                            {
                                 batch.push(q.pop_front().expect("front just probed"));
                             }
                             _ => break,
@@ -227,6 +236,7 @@ impl JobQueue {
 struct Counters {
     served_assign: AtomicU64,
     served_revenue: AtomicU64,
+    served_marginal: AtomicU64,
     coalesced: AtomicU64,
     shed: AtomicU64,
     malformed: AtomicU64,
@@ -256,6 +266,7 @@ impl Shared {
             n_items: index.n_items() as u64,
             served_assign: load(&c.served_assign),
             served_revenue: load(&c.served_revenue),
+            served_marginal: load(&c.served_marginal),
             coalesced: load(&c.coalesced),
             shed: load(&c.shed),
             malformed: load(&c.malformed),
@@ -452,9 +463,14 @@ fn connection_loop(
             }
         };
         let keep_going = match req {
-            Request::Assign(sel) => handle_query(&mut stream, &shared, QueryKind::Assign, sel),
+            Request::Assign(sel) => {
+                handle_query(&mut stream, &shared, QueryKind::Assign, sel, None)
+            }
             Request::ExpectedRevenue(sel) => {
-                handle_query(&mut stream, &shared, QueryKind::Revenue, sel)
+                handle_query(&mut stream, &shared, QueryKind::Revenue, sel, None)
+            }
+            Request::MarginalRevenue { offer, dprice, sel } => {
+                handle_query(&mut stream, &shared, QueryKind::Marginal, sel, Some((offer, dprice)))
             }
             Request::MutateMarket(events) => {
                 let n = events.len() as u64;
@@ -491,7 +507,13 @@ fn connection_loop(
 
 /// Admit one point query (or shed it), wait for the worker's reply, and
 /// write it back. Returns false when the connection died.
-fn handle_query(stream: &mut TcpStream, shared: &Shared, kind: QueryKind, sel: UserSel) -> bool {
+fn handle_query(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    kind: QueryKind,
+    sel: UserSel,
+    marginal: Option<(u32, f64)>,
+) -> bool {
     if shared.shutdown.load(Ordering::Acquire) {
         return send(
             stream,
@@ -506,7 +528,7 @@ fn handle_query(stream: &mut TcpStream, shared: &Shared, kind: QueryKind, sel: U
         UserSel::All => None,
         UserSel::Ids(ids) => Some(ids),
     };
-    let job = Job { kind, ids, reply: tx, enqueued: Instant::now() };
+    let job = Job { kind, ids, marginal, reply: tx, enqueued: Instant::now() };
     if shared.queue.try_push(job).is_err() {
         shared.counters.shed.fetch_add(1, Ordering::Relaxed);
         return send(
@@ -550,6 +572,27 @@ fn execute_batch(shared: &Shared, mut jobs: Vec<Job>) {
         shared.counters.coalesced.fetch_add(jobs.len() as u64 - 1, Ordering::Relaxed);
     }
 
+    // A marginal what-if runs alone (it never coalesces): one call does
+    // its own validation and answers either selector shape.
+    if kind == QueryKind::Marginal {
+        debug_assert_eq!(jobs.len(), 1);
+        let mut job = jobs.pop().expect("one marginal job");
+        let (offer, dprice) = job.marginal.take().expect("marginal job carries its perturbation");
+        let result = match &job.ids {
+            None => index.try_marginal_revenue_all(offer, dprice),
+            Some(ids) => index.try_marginal_revenue(offer, dprice, ids),
+        };
+        let resp = match result {
+            Ok(m) => {
+                served(shared, kind);
+                Response::Marginal(m)
+            }
+            Err(e) => Response::Error { code: ErrorCode::Query, message: e.to_string() },
+        };
+        finish(shared, job, resp);
+        return;
+    }
+
     // A whole-market query runs alone on the allocation-free `*_all`
     // paths (the queue never coalesces an `All` job).
     if jobs[0].ids.is_none() {
@@ -558,6 +601,7 @@ fn execute_batch(shared: &Shared, mut jobs: Vec<Job>) {
         let resp = match kind {
             QueryKind::Assign => Response::Assignments(index.assign_all()),
             QueryKind::Revenue => Response::Revenue(index.expected_revenue_all()),
+            QueryKind::Marginal => unreachable!("handled above"),
         };
         served(shared, kind);
         finish(shared, job, resp);
@@ -603,6 +647,7 @@ fn execute_batch(shared: &Shared, mut jobs: Vec<Job>) {
                 finish(shared, job, Response::Revenue(total));
             }
         }
+        QueryKind::Marginal => unreachable!("handled above"),
     }
 }
 
@@ -610,15 +655,19 @@ fn served(shared: &Shared, kind: QueryKind) {
     match kind {
         QueryKind::Assign => shared.counters.served_assign.fetch_add(1, Ordering::Relaxed),
         QueryKind::Revenue => shared.counters.served_revenue.fetch_add(1, Ordering::Relaxed),
+        QueryKind::Marginal => shared.counters.served_marginal.fetch_add(1, Ordering::Relaxed),
     };
 }
 
 /// Reply to one job and record its endpoint latency (enqueue → reply).
+/// Marginal requests keep no exported histogram — the 17-field stats
+/// frame carries only the two steady-state endpoints' quantiles.
 fn finish(shared: &Shared, job: Job, resp: Response) {
     let ns = job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
     match job.kind {
         QueryKind::Assign => shared.assign_hist.record(ns),
         QueryKind::Revenue => shared.revenue_hist.record(ns),
+        QueryKind::Marginal => {}
     }
     let _ = job.reply.send(resp);
 }
@@ -731,7 +780,7 @@ mod tests {
 
     fn job(kind: QueryKind, ids: Option<Vec<u32>>) -> (Job, mpsc::Receiver<Response>) {
         let (tx, rx) = mpsc::channel();
-        (Job { kind, ids, reply: tx, enqueued: Instant::now() }, rx)
+        (Job { kind, ids, marginal: None, reply: tx, enqueued: Instant::now() }, rx)
     }
 
     #[test]

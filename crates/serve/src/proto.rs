@@ -9,7 +9,7 @@
 //! payload = [u8 opcode][body…]
 //! ```
 //!
-//! Requests carry opcodes `0x01..=0x05`, responses `0x81..=0x86`. The
+//! Requests carry opcodes `0x01..=0x06`, responses `0x81..=0x87`. The
 //! decoders are **total**: truncated, oversized, or garbage payloads come
 //! back as a typed [`ProtoError`] — never a panic and never an
 //! attacker-controlled allocation (element counts are validated against
@@ -22,7 +22,7 @@
 //! wire bit-exactly — the end-to-end parity suites compare
 //! `to_bits()` equality straight through a socket.
 
-use crate::query::Assignment;
+use crate::query::{Assignment, MarginalRevenue};
 use revmax_core::marketlog::Event;
 use std::io::{self, Read, Write};
 
@@ -68,6 +68,11 @@ pub enum Request {
     /// Expected revenue over the selection
     /// ([`crate::MenuIndex::try_expected_revenue`]).
     ExpectedRevenue(UserSel),
+    /// Marginal revenue of nudging one offer's price by `dprice` over the
+    /// selection ([`crate::MenuIndex::try_marginal_revenue`]) — the
+    /// repricing what-if, answered from the already-scattered tiles
+    /// without recompiling the menu.
+    MarginalRevenue { offer: u32, dprice: f64, sel: UserSel },
     /// Append churn events to the daemon's `MarketLog`; applied off the
     /// request path by the churn thread, which re-solves incrementally
     /// and hot-swaps the served index.
@@ -108,7 +113,7 @@ impl ErrorCode {
 }
 
 /// One snapshot of the daemon's counters (the [`Response::Stats`] body,
-/// 16 `u64`s on the wire, field order below).
+/// 17 `u64`s on the wire, field order below).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DaemonStats {
     /// Swap generation of the served index (0 = initial solve).
@@ -121,6 +126,8 @@ pub struct DaemonStats {
     pub served_assign: u64,
     /// Expected-revenue requests answered.
     pub served_revenue: u64,
+    /// Marginal-revenue requests answered.
+    pub served_marginal: u64,
     /// Requests that rode along in another request's coalesced batch.
     pub coalesced: u64,
     /// Requests refused by admission control (bounded queue full).
@@ -146,13 +153,14 @@ pub struct DaemonStats {
 }
 
 impl DaemonStats {
-    fn fields(&self) -> [u64; 16] {
+    fn fields(&self) -> [u64; 17] {
         [
             self.generation,
             self.n_users,
             self.n_items,
             self.served_assign,
             self.served_revenue,
+            self.served_marginal,
             self.coalesced,
             self.shed,
             self.malformed,
@@ -167,24 +175,25 @@ impl DaemonStats {
         ]
     }
 
-    fn from_fields(f: [u64; 16]) -> DaemonStats {
+    fn from_fields(f: [u64; 17]) -> DaemonStats {
         DaemonStats {
             generation: f[0],
             n_users: f[1],
             n_items: f[2],
             served_assign: f[3],
             served_revenue: f[4],
-            coalesced: f[5],
-            shed: f[6],
-            malformed: f[7],
-            mutations_applied: f[8],
-            mutations_rejected: f[9],
-            resolve_hits: f[10],
-            resolve_misses: f[11],
-            assign_p50_ns: f[12],
-            assign_p99_ns: f[13],
-            revenue_p50_ns: f[14],
-            revenue_p99_ns: f[15],
+            served_marginal: f[5],
+            coalesced: f[6],
+            shed: f[7],
+            malformed: f[8],
+            mutations_applied: f[9],
+            mutations_rejected: f[10],
+            resolve_hits: f[11],
+            resolve_misses: f[12],
+            assign_p50_ns: f[13],
+            assign_p99_ns: f[14],
+            revenue_p50_ns: f[15],
+            revenue_p99_ns: f[16],
         }
     }
 }
@@ -196,6 +205,8 @@ pub enum Response {
     Assignments(Vec<Assignment>),
     /// Answer to [`Request::ExpectedRevenue`] (bit-exact f64).
     Revenue(f64),
+    /// Answer to [`Request::MarginalRevenue`] (all three f64s bit-exact).
+    Marginal(MarginalRevenue),
     /// Mutation batch accepted for off-request-path application.
     /// `generation` is the served generation at enqueue time — poll
     /// [`Request::SwapStats`] until it moves past this to observe the
@@ -448,6 +459,12 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::SwapStats => e.u8(0x04),
         Request::Shutdown => e.u8(0x05),
+        Request::MarginalRevenue { offer, dprice, sel } => {
+            e.u8(0x06);
+            e.u32(*offer);
+            e.f64(*dprice);
+            e.user_sel(sel);
+        }
     }
     e.0
 }
@@ -466,6 +483,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
         }
         0x04 => Request::SwapStats,
         0x05 => Request::Shutdown,
+        0x06 => Request::MarginalRevenue { offer: d.u32()?, dprice: d.f64()?, sel: d.user_sel()? },
         other => return err(format!("unknown request opcode {other:#04x}")),
     };
     d.finish()?;
@@ -488,6 +506,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Revenue(r) => {
             e.u8(0x82);
             e.f64(*r);
+        }
+        Response::Marginal(m) => {
+            e.u8(0x87);
+            e.f64(m.base);
+            e.f64(m.perturbed);
+            e.f64(m.delta);
         }
         Response::MutateAck { accepted, generation } => {
             e.u8(0x83);
@@ -525,9 +549,14 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             Response::Assignments(assignments)
         }
         0x82 => Response::Revenue(d.f64()?),
+        0x87 => Response::Marginal(MarginalRevenue {
+            base: d.f64()?,
+            perturbed: d.f64()?,
+            delta: d.f64()?,
+        }),
         0x83 => Response::MutateAck { accepted: d.u64()?, generation: d.u64()? },
         0x84 => {
-            let mut f = [0u64; 16];
+            let mut f = [0u64; 17];
             for slot in &mut f {
                 *slot = d.u64()?;
             }
@@ -577,6 +606,8 @@ mod tests {
             ]),
             Request::SwapStats,
             Request::Shutdown,
+            Request::MarginalRevenue { offer: 5, dprice: -0.25, sel: UserSel::All },
+            Request::MarginalRevenue { offer: 0, dprice: 0.0, sel: UserSel::Ids(vec![2, 2, 0]) },
         ]
     }
 
@@ -590,6 +621,7 @@ mod tests {
             Response::Assignments(Vec::new()),
             Response::Revenue(1234.5678e-3),
             Response::Revenue(f64::NAN),
+            Response::Marginal(MarginalRevenue { base: 100.0, perturbed: 99.25, delta: -0.75 }),
             Response::MutateAck { accepted: 42, generation: 7 },
             Response::Stats(DaemonStats {
                 generation: 3,

@@ -37,6 +37,7 @@
 //! fold of the per-user payments.
 
 use crate::index::{MenuIndex, MenuStore};
+use crate::kernel::{KernelKind, TileScratch};
 use revmax_core::config::Strategy;
 use revmax_core::market::Market;
 use revmax_par::{effective_chunk_size, par_chunks_map_reduce, par_index_map};
@@ -53,6 +54,16 @@ pub enum QueryError {
         /// Consumer count of the compiled market.
         n_users: usize,
     },
+    /// A marginal-revenue query named an offer node the menu doesn't have.
+    OfferOutOfRange {
+        /// The offending offer node id.
+        offer: u32,
+        /// Offer node count of the compiled menu.
+        n_nodes: usize,
+    },
+    /// A marginal-revenue perturbation would make the offer price
+    /// non-finite or negative — outside the model's price domain.
+    PerturbedPriceInvalid,
 }
 
 impl std::fmt::Display for QueryError {
@@ -61,11 +72,35 @@ impl std::fmt::Display for QueryError {
             QueryError::UserOutOfRange { user, n_users } => {
                 write!(f, "user {user} out of range for a {n_users}-consumer market")
             }
+            QueryError::OfferOutOfRange { offer, n_nodes } => {
+                write!(f, "offer {offer} out of range for a {n_nodes}-node menu")
+            }
+            QueryError::PerturbedPriceInvalid => {
+                write!(f, "perturbed offer price must be finite and non-negative")
+            }
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+/// Expected revenue of the menu with one offer's price perturbed, next
+/// to the unperturbed baseline — the marginal-analysis view of a price
+/// move ("A Tale of Two Monopolies"): `delta / dprice` approximates
+/// ∂R/∂p at the offer. Computed by [`MenuIndex::try_marginal_revenue`]
+/// from a single WTP scatter per user block (the tile is walked twice,
+/// once per price table), so `perturbed` is bit-identical to recompiling
+/// the menu at the perturbed price and `base` to
+/// [`MenuIndex::try_expected_revenue`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginalRevenue {
+    /// Expected revenue at the compiled prices.
+    pub base: f64,
+    /// Expected revenue with the offer's price moved by `dprice`.
+    pub perturbed: f64,
+    /// `perturbed - base`.
+    pub delta: f64,
+}
 
 /// One consumer's menu outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,17 +176,38 @@ impl MenuIndex {
         }
         let chunk = effective_chunk_size(users.len(), 0);
         let n_chunks = users.len().div_ceil(chunk);
+        let kernel = self.kernel;
+        let block = self.block;
         let parts: Vec<Vec<Assignment>> = par_index_map(self.threads, n_chunks, |k| {
             let lo = k * chunk;
             let hi = (lo + chunk).min(users.len());
-            let mut scratch = ServeScratch::new(store);
-            users[lo..hi]
-                .iter()
-                .map(|&u| {
-                    let (payment, offers) = eval_user(store, &mut scratch, u, true);
-                    Assignment { user: u, payment, offers }
-                })
-                .collect()
+            match kernel {
+                KernelKind::Rows => {
+                    let mut scratch = ServeScratch::new(store);
+                    users[lo..hi]
+                        .iter()
+                        .map(|&u| {
+                            let (payment, offers) = eval_user(store, &mut scratch, u, true);
+                            Assignment { user: u, payment, offers }
+                        })
+                        .collect()
+                }
+                KernelKind::Tiled => {
+                    let mut tile = TileScratch::new(store, block);
+                    let mut out = Vec::with_capacity(hi - lo);
+                    for blk in users[lo..hi].chunks(tile.block()) {
+                        tile.eval_block(store, blk, true);
+                        for (lane, &u) in blk.iter().enumerate() {
+                            out.push(Assignment {
+                                user: u,
+                                payment: tile.payments[lane],
+                                offers: tile.take_offers(store, lane),
+                            });
+                        }
+                    }
+                    out
+                }
+            }
         });
         Ok(parts.into_iter().flatten().collect())
     }
@@ -175,11 +231,29 @@ impl MenuIndex {
         }
         let chunk = effective_chunk_size(users.len(), 0);
         let n_chunks = users.len().div_ceil(chunk);
+        let kernel = self.kernel;
+        let block = self.block;
         let parts: Vec<Vec<f64>> = par_index_map(self.threads, n_chunks, |k| {
             let lo = k * chunk;
             let hi = (lo + chunk).min(users.len());
-            let mut scratch = ServeScratch::new(store);
-            users[lo..hi].iter().map(|&u| eval_user(store, &mut scratch, u, false).0).collect()
+            match kernel {
+                KernelKind::Rows => {
+                    let mut scratch = ServeScratch::new(store);
+                    users[lo..hi]
+                        .iter()
+                        .map(|&u| eval_user(store, &mut scratch, u, false).0)
+                        .collect()
+                }
+                KernelKind::Tiled => {
+                    let mut tile = TileScratch::new(store, block);
+                    let mut out = Vec::with_capacity(hi - lo);
+                    for blk in users[lo..hi].chunks(tile.block()) {
+                        tile.eval_block(store, blk, false);
+                        out.extend_from_slice(&tile.payments[..blk.len()]);
+                    }
+                    out
+                }
+            }
         });
         Ok(parts.into_iter().flatten().collect())
     }
@@ -192,17 +266,35 @@ impl MenuIndex {
     pub fn try_expected_revenue(&self, users: &[u32]) -> Result<f64, QueryError> {
         self.validate_users(users)?;
         let store = &*self.store;
+        let kernel = self.kernel;
+        let block = self.block;
         Ok(par_chunks_map_reduce(
             self.threads,
             users,
             0,
-            |chunk| {
-                let mut scratch = ServeScratch::new(store);
-                let mut total = 0.0;
-                for &u in chunk {
-                    total += eval_user(store, &mut scratch, u, false).0;
+            |chunk| match kernel {
+                KernelKind::Rows => {
+                    let mut scratch = ServeScratch::new(store);
+                    let mut total = 0.0;
+                    for &u in chunk {
+                        total += eval_user(store, &mut scratch, u, false).0;
+                    }
+                    total
                 }
-                total
+                KernelKind::Tiled => {
+                    let mut tile = TileScratch::new(store, block);
+                    let mut total = 0.0;
+                    for blk in chunk.chunks(tile.block()) {
+                        tile.eval_block(store, blk, false);
+                        // Same ordered left-to-right fold as the row-walk:
+                        // blocks split the chunk front to back, lanes are
+                        // in user order.
+                        for &p in &tile.payments[..blk.len()] {
+                            total += p;
+                        }
+                    }
+                    total
+                }
             },
             0.0f64,
             |a, s| a + s,
@@ -229,15 +321,33 @@ impl MenuIndex {
         }
         let chunk = effective_chunk_size(n, 0);
         let n_chunks = n.div_ceil(chunk);
+        let kernel = self.kernel;
+        let block = self.block;
         let partials = par_index_map(self.threads, n_chunks, |k| {
             let lo = k * chunk;
             let hi = (lo + chunk).min(n);
-            let mut scratch = ServeScratch::new(store);
-            let mut total = 0.0;
-            for u in lo..hi {
-                total += eval_user(store, &mut scratch, u as u32, false).0;
+            match kernel {
+                KernelKind::Rows => {
+                    let mut scratch = ServeScratch::new(store);
+                    let mut total = 0.0;
+                    for u in lo..hi {
+                        total += eval_user(store, &mut scratch, u as u32, false).0;
+                    }
+                    total
+                }
+                KernelKind::Tiled => {
+                    let ids: Vec<u32> = (lo as u32..hi as u32).collect();
+                    let mut tile = TileScratch::new(store, block);
+                    let mut total = 0.0;
+                    for blk in ids.chunks(tile.block()) {
+                        tile.eval_block(store, blk, false);
+                        for &p in &tile.payments[..blk.len()] {
+                            total += p;
+                        }
+                    }
+                    total
+                }
             }
-            total
         });
         partials.into_iter().fold(0.0f64, |a, s| a + s)
     }
@@ -253,19 +363,147 @@ impl MenuIndex {
         }
         let chunk = effective_chunk_size(n, 0);
         let n_chunks = n.div_ceil(chunk);
+        let kernel = self.kernel;
+        let block = self.block;
         let parts: Vec<Vec<Assignment>> = par_index_map(self.threads, n_chunks, |k| {
             let lo = k * chunk;
             let hi = (lo + chunk).min(n);
-            let mut scratch = ServeScratch::new(store);
-            (lo..hi)
-                .map(|u| {
-                    let (payment, offers) = eval_user(store, &mut scratch, u as u32, true);
-                    Assignment { user: u as u32, payment, offers }
-                })
-                .collect()
+            match kernel {
+                KernelKind::Rows => {
+                    let mut scratch = ServeScratch::new(store);
+                    (lo..hi)
+                        .map(|u| {
+                            let (payment, offers) = eval_user(store, &mut scratch, u as u32, true);
+                            Assignment { user: u as u32, payment, offers }
+                        })
+                        .collect()
+                }
+                KernelKind::Tiled => {
+                    let ids: Vec<u32> = (lo as u32..hi as u32).collect();
+                    let mut tile = TileScratch::new(store, block);
+                    let mut out = Vec::with_capacity(hi - lo);
+                    for blk in ids.chunks(tile.block()) {
+                        tile.eval_block(store, blk, true);
+                        for (lane, &u) in blk.iter().enumerate() {
+                            out.push(Assignment {
+                                user: u,
+                                payment: tile.payments[lane],
+                                offers: tile.take_offers(store, lane),
+                            });
+                        }
+                    }
+                    out
+                }
+            }
         });
         parts.into_iter().flatten().collect()
     }
+
+    /// Marginal revenue of moving offer node `offer`'s price by `dprice`,
+    /// over the queried users: one tile scatter per user block, two walks
+    /// (compiled and perturbed price tables). `base` is bit-identical to
+    /// [`MenuIndex::try_expected_revenue`] on the same batch, `perturbed`
+    /// to recompiling the menu with the single price changed and querying
+    /// that — so `delta` is an *exact* finite difference, not an estimate.
+    /// Always evaluated by the tile kernel (the perturbation reuses its
+    /// retained surplus state); the kernel knob only affects which kernel
+    /// answers the ordinary query paths, whose bits agree anyway.
+    pub fn try_marginal_revenue(
+        &self,
+        offer: u32,
+        dprice: f64,
+        users: &[u32],
+    ) -> Result<MarginalRevenue, QueryError> {
+        self.validate_users(users)?;
+        let store = &*self.store;
+        let perturbed = self.perturbed_prices(offer, dprice)?;
+        let block = self.block;
+        let (base, perturbed) = par_chunks_map_reduce(
+            self.threads,
+            users,
+            0,
+            |chunk| {
+                let mut tile = TileScratch::new(store, block);
+                marginal_chunk(store, &mut tile, &perturbed, chunk)
+            },
+            (0.0f64, 0.0f64),
+            |a, s| (a.0 + s.0, a.1 + s.1),
+        );
+        Ok(MarginalRevenue { base, perturbed, delta: perturbed - base })
+    }
+
+    /// [`MenuIndex::try_marginal_revenue`] over every consumer of the
+    /// compiled market, without materializing the id batch (same §6 chunk
+    /// boundaries and ordered fold as
+    /// [`MenuIndex::expected_revenue_all`], so `base` matches its bits).
+    pub fn try_marginal_revenue_all(
+        &self,
+        offer: u32,
+        dprice: f64,
+    ) -> Result<MarginalRevenue, QueryError> {
+        let store = &*self.store;
+        let perturbed = self.perturbed_prices(offer, dprice)?;
+        let n = store.n_users;
+        if n == 0 {
+            return Ok(MarginalRevenue { base: 0.0, perturbed: 0.0, delta: 0.0 });
+        }
+        let chunk = effective_chunk_size(n, 0);
+        let n_chunks = n.div_ceil(chunk);
+        let block = self.block;
+        let partials = par_index_map(self.threads, n_chunks, |k| {
+            let lo = k * chunk;
+            let hi = (lo + chunk).min(n);
+            let ids: Vec<u32> = (lo as u32..hi as u32).collect();
+            let mut tile = TileScratch::new(store, block);
+            marginal_chunk(store, &mut tile, &perturbed, &ids)
+        });
+        let (base, perturbed) =
+            partials.into_iter().fold((0.0f64, 0.0f64), |a, s| (a.0 + s.0, a.1 + s.1));
+        Ok(MarginalRevenue { base, perturbed, delta: perturbed - base })
+    }
+
+    /// The perturbed price table of a marginal-revenue query, or the
+    /// typed error when the offer id or resulting price is out of domain.
+    fn perturbed_prices(&self, offer: u32, dprice: f64) -> Result<Vec<f64>, QueryError> {
+        let shape = &self.store.shape;
+        let n_nodes = shape.prices.len();
+        if offer as usize >= n_nodes {
+            return Err(QueryError::OfferOutOfRange { offer, n_nodes });
+        }
+        let moved = shape.prices[offer as usize] + dprice;
+        if !(moved.is_finite() && moved >= 0.0) {
+            return Err(QueryError::PerturbedPriceInvalid);
+        }
+        let mut prices = shape.prices.clone();
+        prices[offer as usize] = moved;
+        Ok(prices)
+    }
+}
+
+/// One §6 chunk of a marginal-revenue query: per block, scatter once and
+/// walk twice. Both totals fold left to right in user order — the base
+/// fold is operation-for-operation the [`MenuIndex::try_expected_revenue`]
+/// fold, the perturbed fold the same thing at the perturbed price table.
+fn marginal_chunk(
+    store: &MenuStore,
+    tile: &mut TileScratch,
+    perturbed: &[f64],
+    users: &[u32],
+) -> (f64, f64) {
+    let mut base_total = 0.0f64;
+    let mut pert_total = 0.0f64;
+    for blk in users.chunks(tile.block()) {
+        tile.scatter_block(store, blk);
+        tile.walk_block(store, &store.shape.prices, blk.len(), false, false);
+        for &p in &tile.payments[..blk.len()] {
+            base_total += p;
+        }
+        tile.walk_block(store, perturbed, blk.len(), false, true);
+        for &p in &tile.payments[..blk.len()] {
+            pert_total += p;
+        }
+    }
+    (base_total, pert_total)
 }
 
 /// The exact reduction [`MenuIndex::expected_revenue`] applies to the

@@ -225,6 +225,53 @@ fn hostile_frames_and_bad_ids_get_typed_errors_not_a_dead_process() {
 }
 
 #[test]
+fn marginal_revenue_opcode_answers_bit_exactly_over_the_wire() {
+    let daemon = spawn_daemon(DaemonConfig::default());
+    let index = daemon.handle().current();
+    let users = index.all_users();
+    let offer = *index.roots().last().expect("menu has offers");
+    let dprice = 0.75;
+    let expect = index.try_marginal_revenue(offer, dprice, &users).expect("in-process answer");
+
+    let mut stream = connect(&daemon);
+    // Both selector shapes answer with the in-process bits.
+    for sel in [UserSel::All, UserSel::Ids(users.clone())] {
+        match proto::roundtrip(&mut stream, &Request::MarginalRevenue { offer, dprice, sel })
+            .unwrap()
+        {
+            Response::Marginal(m) => {
+                assert_eq!(m.base.to_bits(), expect.base.to_bits());
+                assert_eq!(m.perturbed.to_bits(), expect.perturbed.to_bits());
+                assert_eq!(m.delta.to_bits(), expect.delta.to_bits());
+            }
+            other => panic!("expected Marginal, got {other:?}"),
+        }
+    }
+
+    // Bad offer ids and price-invalidating nudges come back as typed
+    // Query errors on a connection that keeps serving.
+    let bad =
+        Request::MarginalRevenue { offer: index.n_nodes() as u32, dprice: 0.0, sel: UserSel::All };
+    match proto::roundtrip(&mut stream, &bad).unwrap() {
+        Response::Error { code: ErrorCode::Query, .. } => {}
+        other => panic!("expected Query error, got {other:?}"),
+    }
+    let negative =
+        Request::MarginalRevenue { offer, dprice: -(index.price(offer) + 1.0), sel: UserSel::All };
+    match proto::roundtrip(&mut stream, &negative).unwrap() {
+        Response::Error { code: ErrorCode::Query, .. } => {}
+        other => panic!("expected Query error, got {other:?}"),
+    }
+    match proto::roundtrip(&mut stream, &Request::SwapStats).unwrap() {
+        Response::Stats(s) => assert_eq!(s.served_marginal, 2),
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    daemon.request_shutdown();
+    daemon.join();
+}
+
+#[test]
 fn process_side_shutdown_drains_and_joins() {
     let daemon = spawn_daemon(DaemonConfig { workers: 1, ..DaemonConfig::default() });
     let mut stream = connect(&daemon);

@@ -14,7 +14,7 @@ use revmax_serve::proto::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
     DaemonStats, ErrorCode, Request, Response, UserSel, MAX_FRAME,
 };
-use revmax_serve::Assignment;
+use revmax_serve::{Assignment, MarginalRevenue};
 use std::io::Cursor;
 
 /// Raw bit patterns: hits NaNs, infinities, subnormals, -0.0 — the wire
@@ -49,13 +49,16 @@ fn arb_event() -> impl Strategy<Value = Event> {
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
-    (0u8..5, arb_user_sel(), vec(arb_event(), 0..12)).prop_map(|(tag, sel, events)| match tag {
-        0 => Request::Assign(sel),
-        1 => Request::ExpectedRevenue(sel),
-        2 => Request::MutateMarket(events),
-        3 => Request::SwapStats,
-        _ => Request::Shutdown,
-    })
+    (0u8..6, arb_user_sel(), vec(arb_event(), 0..12), 0u32..=u32::MAX, arb_f64()).prop_map(
+        |(tag, sel, events, offer, dprice)| match tag {
+            0 => Request::Assign(sel),
+            1 => Request::ExpectedRevenue(sel),
+            2 => Request::MutateMarket(events),
+            3 => Request::SwapStats,
+            4 => Request::MarginalRevenue { offer, dprice, sel },
+            _ => Request::Shutdown,
+        },
+    )
 }
 
 fn arb_assignment() -> impl Strategy<Value = Assignment> {
@@ -77,14 +80,20 @@ fn arb_response() -> impl Strategy<Value = Response> {
         _ => ErrorCode::ShuttingDown,
     });
     (
-        0u8..6,
+        0u8..7,
         vec(arb_assignment(), 0..10),
-        (arb_f64(), (0u64..=u64::MAX, 0u64..=u64::MAX)),
-        vec(0u64..=u64::MAX, 16..=16),
+        (arb_f64(), (0u64..=u64::MAX, 0u64..=u64::MAX), (arb_f64(), arb_f64(), arb_f64())),
+        vec(0u64..=u64::MAX, 17..=17),
         (code, arb_message()),
     )
         .prop_map(
-            |(tag, assignments, (revenue, (accepted, generation)), stats, (code, message))| {
+            |(
+                tag,
+                assignments,
+                (revenue, (accepted, generation), (base, perturbed, delta)),
+                stats,
+                (code, message),
+            )| {
                 match tag {
                     0 => Response::Assignments(assignments),
                     1 => Response::Revenue(revenue),
@@ -95,19 +104,21 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         n_items: stats[2],
                         served_assign: stats[3],
                         served_revenue: stats[4],
-                        coalesced: stats[5],
-                        shed: stats[6],
-                        malformed: stats[7],
-                        mutations_applied: stats[8],
-                        mutations_rejected: stats[9],
-                        resolve_hits: stats[10],
-                        resolve_misses: stats[11],
-                        assign_p50_ns: stats[12],
-                        assign_p99_ns: stats[13],
-                        revenue_p50_ns: stats[14],
-                        revenue_p99_ns: stats[15],
+                        served_marginal: stats[5],
+                        coalesced: stats[6],
+                        shed: stats[7],
+                        malformed: stats[8],
+                        mutations_applied: stats[9],
+                        mutations_rejected: stats[10],
+                        resolve_hits: stats[11],
+                        resolve_misses: stats[12],
+                        assign_p50_ns: stats[13],
+                        assign_p99_ns: stats[14],
+                        revenue_p50_ns: stats[15],
+                        revenue_p99_ns: stats[16],
                     }),
                     4 => Response::Error { code, message },
+                    5 => Response::Marginal(MarginalRevenue { base, perturbed, delta }),
                     _ => Response::Bye,
                 }
             },

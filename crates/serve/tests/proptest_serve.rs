@@ -12,12 +12,13 @@
 //!    evaluation up to summation reassociation (tolerance-checked).
 
 use proptest::prelude::*;
-use revmax_core::algorithms::by_name;
+use revmax_core::algorithms::{by_name, registry};
+use revmax_core::config::{BundleConfig, OfferNode};
 use revmax_core::market::Market;
 use revmax_core::params::{Params, Threads};
 use revmax_core::wtp::WtpMatrix;
 use revmax_par::effective_chunk_size;
-use revmax_serve::{solver_user_revenue, MenuIndex};
+use revmax_serve::{solver_user_revenue, KernelKind, MenuIndex};
 
 /// A random dense WTP matrix (entries 0 with ~3/8 probability) plus θ.
 fn arb_dense() -> impl Strategy<Value = (Vec<Vec<f64>>, f64)> {
@@ -131,4 +132,147 @@ proptest! {
             );
         }
     }
+
+    /// The tile kernel is bit-identical to the row-walk — payments AND
+    /// held-offer lists — for every registry configurator (all seven
+    /// methods, pure and mixed), at degenerate (1), ragged (3), default
+    /// (64), and whole-batch (n) block sizes, at 1/2/8 threads.
+    /// `arb_dense` routinely produces all-zero consumer rows, so the
+    /// empty/uninterested-lane paths are exercised throughout.
+    #[test]
+    fn tile_kernel_is_bit_identical_to_row_walk(
+        (dense, theta) in arb_dense(),
+        sigmoid in 0u8..2,
+    ) {
+        let gamma = if sigmoid == 1 { 1.5 } else { 1e6 };
+        let Some(market) = market_of(&dense, theta, gamma) else { return };
+        let n = market.n_users();
+        for (method, configurator) in registry() {
+            let outcome = configurator.run(&market);
+            let index = MenuIndex::compile(&market, &outcome.config);
+            let users = index.all_users();
+            let rows = index.clone().with_kernel(KernelKind::Rows).assign(&users);
+            for block in [1usize, 3, 64, n] {
+                let tiled_index =
+                    index.clone().with_kernel(KernelKind::Tiled).with_block(block);
+                let tiled = tiled_index.assign(&users);
+                prop_assert_eq!(tiled.len(), rows.len());
+                for (t, r) in tiled.iter().zip(&rows) {
+                    prop_assert_eq!(t.user, r.user);
+                    prop_assert_eq!(
+                        t.payment.to_bits(), r.payment.to_bits(),
+                        "{} block {}: user {} tiled {} vs rows {}",
+                        method, block, t.user, t.payment, r.payment
+                    );
+                    prop_assert_eq!(
+                        &t.offers, &r.offers,
+                        "{} block {}: user {} offer lists diverge", method, block, t.user
+                    );
+                    // ... and both equal the solver-side bits.
+                    prop_assert_eq!(
+                        t.payment.to_bits(),
+                        solver_user_revenue(&market, &outcome.config, t.user).to_bits()
+                    );
+                }
+                let total = tiled_index.expected_revenue(&users);
+                for threads in [2usize, 8] {
+                    let t = tiled_index.clone().with_threads(threads);
+                    prop_assert_eq!(t.expected_revenue(&users).to_bits(), total.to_bits());
+                }
+            }
+        }
+    }
+
+    /// `try_marginal_revenue` against ground truth: its `base` is the
+    /// unperturbed batched revenue bit-for-bit, and its `perturbed` total
+    /// is bit-identical to serving an index compiled from a config whose
+    /// corresponding offer price was actually moved — the walk runs the
+    /// same code over the same table either way. Thread count and the
+    /// `_all` path change nothing.
+    #[test]
+    fn marginal_revenue_matches_a_perturbed_recompile(
+        (dense, theta) in arb_dense(),
+        pick in 0usize..64,
+        dp in -40i32..=40,
+    ) {
+        let Some(market) = market_of(&dense, theta, 1e6) else { return };
+        let outcome = by_name("Mixed Greedy").unwrap().run(&market);
+        let index = MenuIndex::compile(&market, &outcome.config);
+        let users = index.all_users();
+
+        // Perturb the k-th offer (pre-order) of the solved config.
+        let n_offers: usize = outcome.config.roots.iter().map(OfferNode::node_count).sum();
+        let k = pick % n_offers;
+        let mut perturbed_cfg = outcome.config.clone();
+        let slot = nth_offer_mut(&mut perturbed_cfg, k).expect("k < n_offers");
+        let mut dprice = dp as f64 * 0.05;
+        if slot.price + dprice < 0.0 {
+            dprice = -slot.price; // clamp to the validity boundary
+        }
+        slot.price += dprice;
+        let perturbed_index = MenuIndex::compile(&market, &perturbed_cfg);
+
+        // Locate the node the mutation landed on by diffing price tables.
+        let moved: Vec<u32> = (0..index.n_nodes() as u32)
+            .filter(|&nd| index.price(nd).to_bits() != perturbed_index.price(nd).to_bits())
+            .collect();
+
+        let base = index.expected_revenue(&users);
+        if moved.is_empty() {
+            // dprice == 0 (or clamped to 0): the query is still legal and
+            // must report a bitwise no-op.
+            let m = index.try_marginal_revenue(0, dprice, &users).unwrap();
+            prop_assert_eq!(m.base.to_bits(), base.to_bits());
+            prop_assert_eq!(m.perturbed.to_bits(), base.to_bits());
+            prop_assert_eq!(m.delta, 0.0);
+            return;
+        }
+        prop_assert_eq!(moved.len(), 1, "one offer moved ⇒ one node moved");
+        let offer = moved[0];
+
+        let m = index.try_marginal_revenue(offer, dprice, &users).unwrap();
+        prop_assert_eq!(m.base.to_bits(), base.to_bits());
+        let truth = perturbed_index.expected_revenue(&users);
+        prop_assert_eq!(
+            m.perturbed.to_bits(), truth.to_bits(),
+            "marginal perturbed {} vs recompiled {}", m.perturbed, truth
+        );
+        prop_assert_eq!(m.delta.to_bits(), (m.perturbed - m.base).to_bits());
+
+        // The `_all` path and any thread count answer identically.
+        let all = index.try_marginal_revenue_all(offer, dprice).unwrap();
+        prop_assert_eq!(all.perturbed.to_bits(), m.perturbed.to_bits());
+        prop_assert_eq!(all.base.to_bits(), m.base.to_bits());
+        for threads in [2usize, 8] {
+            let t = index.clone().with_threads(threads);
+            let mt = t.try_marginal_revenue(offer, dprice, &users).unwrap();
+            prop_assert_eq!(mt.perturbed.to_bits(), m.perturbed.to_bits());
+        }
+
+        // Out-of-range offers and price-invalidating nudges are typed
+        // errors, not panics.
+        prop_assert!(index.try_marginal_revenue(index.n_nodes() as u32, 0.1, &users).is_err());
+        prop_assert!(index
+            .try_marginal_revenue(offer, -(index.price(offer) + 1.0), &users)
+            .is_err());
+    }
+}
+
+/// The `k`-th offer of `cfg` in pre-order (roots left to right, each
+/// followed by its subtree).
+fn nth_offer_mut(cfg: &mut BundleConfig, k: usize) -> Option<&mut OfferNode> {
+    fn walk<'a>(nodes: &'a mut [OfferNode], k: &mut usize) -> Option<&'a mut OfferNode> {
+        for n in nodes {
+            if *k == 0 {
+                return Some(n);
+            }
+            *k -= 1;
+            if let Some(hit) = walk(&mut n.children, k) {
+                return Some(hit);
+            }
+        }
+        None
+    }
+    let mut k = k;
+    walk(&mut cfg.roots, &mut k)
 }
