@@ -31,6 +31,7 @@ fn ctx(mode: PriceMode, gamma: f64) -> PricingCtx {
         objective_alpha: 1.0,
         unit_cost: 0.0,
         threads: 1,
+        objective: revmax_core::objective::Objective::Mean,
     }
 }
 

@@ -25,6 +25,24 @@ fn serve_bench_rejects_non_key_value_arguments() {
 }
 
 #[test]
+fn sweep_rejects_unknown_keys_with_a_suggestion() {
+    let (code, stderr) = run(env!("CARGO_BIN_EXE_sweep"), &["objektives=mean"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("unknown spec key 'objektives'"), "stderr: {stderr}");
+    assert!(stderr.contains("did you mean 'objectives'?"), "stderr: {stderr}");
+}
+
+#[test]
+fn sweep_rejects_bad_objective_values_and_gates() {
+    let (code, stderr) = run(env!("CARGO_BIN_EXE_sweep"), &["objective=cvar:1.5"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("CVaR level"), "stderr: {stderr}");
+    let (code, stderr) = run(env!("CARGO_BIN_EXE_sweep"), &["gate=bogus"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("unknown gate 'bogus'"), "stderr: {stderr}");
+}
+
+#[test]
 fn churn_bench_rejects_unknown_keys_by_name() {
     let (code, stderr) = run(env!("CARGO_BIN_EXE_churn_bench"), &["cohort=3"]);
     assert_eq!(code, 2, "stderr: {stderr}");

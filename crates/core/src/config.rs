@@ -10,6 +10,7 @@
 use crate::bundle::Bundle;
 use crate::market::Market;
 use crate::mixed;
+use crate::objective::Objective;
 use crate::trace::IterationTrace;
 use rand::Rng;
 
@@ -125,7 +126,9 @@ impl BundleConfig {
         self.roots.iter().map(|r| r.bundle.len()).max().unwrap_or(0)
     }
 
-    /// Expected total revenue at the stored prices.
+    /// Expected total revenue at the stored prices — the mean-objective
+    /// score; delegates to [`BundleConfig::revenue`] with
+    /// [`Objective::Mean`].
     ///
     /// Exact for pure bundling (any adoption model) and for mixed bundling
     /// under step adoption. For mixed bundling with a soft sigmoid the
@@ -133,10 +136,40 @@ impl BundleConfig {
     /// exponential — use [`BundleConfig::sampled_revenue`] there (as the
     /// paper does: "we average revenues across ten runs").
     pub fn expected_revenue(&self, market: &Market) -> f64 {
+        self.revenue(market, Objective::Mean)
+    }
+
+    /// Objective-scored total revenue of this configuration: the chosen
+    /// statistic of the per-user revenue distribution, summed over roots
+    /// in root order (`DESIGN.md` §13).
+    ///
+    /// * [`Objective::Mean`] (and its bitwise twin `Cvar(1.0)`) runs the
+    ///   historical mean-revenue fold — bit-identical to the pre-objective
+    ///   `expected_revenue`.
+    /// * Robust objectives score each root against its per-user payment
+    ///   distribution: pure roots via the pooled two-point closed form
+    ///   ([`Objective::base_buyers`]), mixed roots via the empirical
+    ///   per-user payments of a deterministic tree evaluation
+    ///   ([`crate::mixed::evaluate_tree_states`] +
+    ///   [`Objective::score_payments`]). In both cases the interested-user
+    ///   count `m` is the number of users with a positive WTP sum on the
+    ///   root's bundle.
+    pub fn revenue(&self, market: &Market, objective: Objective) -> f64 {
+        // Cvar(1.0) must coincide with Mean *bit for bit*; dispatching to
+        // the literal mean fold (rather than the empirical sorted path,
+        // whose summation order differs) makes that an identity.
+        let robust = !matches!(objective, Objective::Mean | Objective::Cvar(1.0));
         let mut scratch = market.scratch();
+        if !robust {
+            return self
+                .roots
+                .iter()
+                .map(|r| self.root_revenue(market, r, &mut scratch))
+                .fold(0.0, |a, r| a + r);
+        }
         self.roots
             .iter()
-            .map(|r| self.root_revenue(market, r, &mut scratch))
+            .map(|r| self.root_revenue_robust(market, r, objective, &mut scratch))
             .fold(0.0, |a, r| a + r)
     }
 
@@ -166,6 +199,38 @@ impl BundleConfig {
                 root.price * buyers
             }
             Strategy::Mixed => mixed::evaluate_tree_deterministic(market, root, scratch),
+        }
+    }
+
+    /// Robust-objective score of one root subtree (see
+    /// [`BundleConfig::revenue`]); `objective` is `Quantile` or
+    /// `Cvar(q<1)` here.
+    fn root_revenue_robust(
+        &self,
+        market: &Market,
+        root: &OfferNode,
+        objective: Objective,
+        scratch: &mut crate::market::Scratch,
+    ) -> f64 {
+        match self.strategy {
+            Strategy::Pure => {
+                let wtps = market.bundle_wtps(root.bundle.items(), scratch);
+                let m = wtps.len() as f64;
+                let adoption = market.pricing_ctx().adoption;
+                let buyers: f64 = wtps
+                    .iter()
+                    .map(|&w| adoption.probability(w, root.price))
+                    .fold(0.0, |a, p| a + p);
+                root.price * objective.base_buyers(buyers, m)
+            }
+            Strategy::Mixed => {
+                let states = mixed::evaluate_tree_states(market, root, scratch);
+                let paid: Vec<f64> = states.iter().map(|s| s.paid).collect();
+                // Interested users of this tree: positive WTP sum on the
+                // root's full bundle (every payer necessarily is one).
+                let m = market.bundle_user_sums(root.bundle.items(), scratch).len().max(paid.len());
+                objective.score_payments(&paid, m)
+            }
         }
     }
 
@@ -509,6 +574,76 @@ mod tests {
         let grown = log.snapshot();
         let inc = c.rescore_touched(&grown, &memo, &log.touched_items());
         assert_eq!(inc, c.revenue_breakdown(&grown));
+    }
+
+    #[test]
+    fn objective_scored_revenue_pure() {
+        // Components at pA=8, pB=11 on Table 1: per root, 3 interested
+        // users. Root A: 2 buyers → CVaR(2/3) takes the lowest 2 of
+        // {0, 8, 8} → 8/(2/3) = 12. Root B: 1 buyer → lowest 2 are zeros
+        // → 0. Total 12.
+        let m = market();
+        let c = pure_components();
+        let q = 2.0 / 3.0;
+        let r = c.revenue(&m, Objective::Cvar(q));
+        assert!((r - 8.0 / q).abs() < 1e-9, "cvar revenue {r}");
+        // Quantile 0.5: root A's rank-2 payment (of {0,8,8}) is 8 → 3·8;
+        // root B's rank-2 is 0.
+        let r = c.revenue(&m, Objective::Quantile(0.5));
+        assert!((r - 24.0).abs() < 1e-9, "quantile revenue {r}");
+        // Mean delegates unchanged.
+        assert_eq!(c.revenue(&m, Objective::Mean).to_bits(), c.expected_revenue(&m).to_bits());
+    }
+
+    #[test]
+    fn objective_scored_revenue_mixed_uses_payment_distribution() {
+        // Mixed tree from Table 1 at pA=8, pB=11, pAB=12: u1 and u3 both
+        // upgrade to the bundle (add-on margins +ε and +4), u2 keeps A →
+        // payments {12, 8, 12}; all 3 users interested.
+        let m = market();
+        let c = BundleConfig {
+            strategy: Strategy::Mixed,
+            roots: vec![OfferNode {
+                bundle: Bundle::new(vec![0, 1]),
+                price: 12.0,
+                children: vec![
+                    OfferNode::leaf(Bundle::single(0), 8.0),
+                    OfferNode::leaf(Bundle::single(1), 11.0),
+                ],
+            }],
+        };
+        c.validate(2);
+        assert!((c.expected_revenue(&m) - 32.0).abs() < 1e-9);
+        // CVaR(1/3): lowest payment 8 → 8/(1/3) = 24.
+        let r = c.revenue(&m, Objective::Cvar(1.0 / 3.0));
+        assert!((r - 24.0).abs() < 1e-9, "cvar {r}");
+        // Quantile(0.5): rank-2 of {8, 12, 12} is 12 → 3·12 = 36.
+        let r = c.revenue(&m, Objective::Quantile(0.5));
+        assert!((r - 36.0).abs() < 1e-9, "quantile {r}");
+    }
+
+    #[test]
+    fn cvar_one_is_expected_revenue_bitwise() {
+        let m = market();
+        for c in [
+            pure_components(),
+            BundleConfig {
+                strategy: Strategy::Mixed,
+                roots: vec![OfferNode {
+                    bundle: Bundle::new(vec![0, 1]),
+                    price: 12.0,
+                    children: vec![
+                        OfferNode::leaf(Bundle::single(0), 8.0),
+                        OfferNode::leaf(Bundle::single(1), 11.0),
+                    ],
+                }],
+            },
+        ] {
+            assert_eq!(
+                c.revenue(&m, Objective::Cvar(1.0)).to_bits(),
+                c.expected_revenue(&m).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod market;
 pub mod marketlog;
 pub mod metrics;
 pub mod mixed;
+pub mod objective;
 pub mod params;
 pub mod policy;
 pub mod pricing;
@@ -95,6 +96,7 @@ pub mod prelude {
     pub use crate::market::{Market, MarketView};
     pub use crate::marketlog::{Event, MarketLog};
     pub use crate::metrics::{revenue_coverage, revenue_gain};
+    pub use crate::objective::Objective;
     pub use crate::params::{Params, SizeCap, Threads};
     pub use crate::wtp::WtpMatrix;
 }

@@ -319,6 +319,20 @@ pub fn evaluate_tree_deterministic(
     states.iter().map(|s| s.paid).fold(0.0, |a, p| a + p)
 }
 
+/// Deterministic bottom-up evaluation returning the **per-user** final
+/// holdings (payment, held items) instead of the summed revenue — the raw
+/// material for scoring a mixed tree under a robust
+/// [`crate::objective::Objective`] (quantile/CVaR need the payment
+/// distribution, not its sum). Same traversal as
+/// [`evaluate_tree_deterministic`]; states arrive sorted by user id.
+pub fn evaluate_tree_states(
+    market: &Market,
+    root: &OfferNode,
+    scratch: &mut Scratch,
+) -> Vec<UserState> {
+    eval_node(market, root, scratch, &mut Decide::Threshold)
+}
+
 /// Monte-Carlo evaluation: every adoption decision is drawn from the
 /// sigmoid. One run; callers average (the paper averages ten).
 pub fn evaluate_tree_sampled<R: Rng>(

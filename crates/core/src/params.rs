@@ -1,5 +1,6 @@
 //! Model parameters with the paper's defaults (Table 3).
 
+use crate::objective::Objective;
 pub use revmax_par::Threads;
 
 /// Maximum bundle size constraint `k` (Problem 1/2's size parameter).
@@ -45,14 +46,15 @@ impl SizeCap {
 /// model (α multiplies WTP) make clear the default is α = 1; α = 0 would
 /// zero every consumer's effective WTP.
 ///
-/// Three extension knobs beyond the paper's table: `objective_alpha` is the
+/// Four extension knobs beyond the paper's table: `objective_alpha` is the
 /// profit-vs-surplus weight of the §1 utility `α·profit + (1−α)·surplus`
 /// (the paper fixes it to 1 "without loss of generality"), `unit_cost`
 /// is the per-unit variable cost (the paper assumes 0 for information
-/// goods), and `threads` is the degree of parallelism used by the hot
-/// paths (pricing, subset enumeration, gain-matrix scoring). Thread count
-/// never affects results — see `DESIGN.md` §6 for the determinism
-/// contract.
+/// goods), `objective` selects the revenue statistic a solve maximizes
+/// (mean / lower quantile / CVaR — `DESIGN.md` §13), and `threads` is the
+/// degree of parallelism used by the hot paths (pricing, subset
+/// enumeration, gain-matrix scoring). Thread count never affects results —
+/// see `DESIGN.md` §6 for the determinism contract.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Params {
     /// Rating→WTP conversion factor λ (≥ 1).
@@ -74,6 +76,8 @@ pub struct Params {
     pub objective_alpha: f64,
     /// Per-unit variable cost subtracted from price in the profit term.
     pub unit_cost: f64,
+    /// Revenue statistic the solve maximizes (default: the paper's mean).
+    pub objective: Objective,
     /// Worker threads for the parallel hot paths (default: auto — the
     /// `REVMAX_THREADS` env var, else the machine's available parallelism).
     pub threads: Threads,
@@ -95,6 +99,7 @@ impl Params {
             price_levels: 100,
             objective_alpha: 1.0,
             unit_cost: 0.0,
+            objective: Objective::Mean,
             threads: Threads::Auto,
         }
     }
@@ -113,6 +118,7 @@ impl Params {
             self.objective_alpha
         );
         assert!(self.unit_cost >= 0.0, "unit cost must be non-negative");
+        self.objective.validate();
         self.threads.validate();
         if let SizeCap::AtMost(k) = self.size_cap {
             assert!(k >= 1, "size cap must be >= 1");
@@ -161,6 +167,12 @@ impl Params {
         self
     }
 
+    /// Builder-style override for the pricing objective.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
     /// Builder-style override for the worker-thread knob.
     pub fn with_threads(mut self, threads: Threads) -> Self {
         self.threads = threads;
@@ -174,7 +186,9 @@ impl Params {
 
     /// Stable 64-bit fingerprint of every **solve-relevant** parameter —
     /// the raw bits of λ, θ, γ, α, ε, the size cap, `T`, the objective
-    /// weight, and the unit cost.
+    /// weight, the unit cost, and the pricing objective (tagged per
+    /// variant so a CVaR solve can never collide with a mean solve —
+    /// the solve cache keys on this digest).
     ///
     /// `threads` is deliberately **excluded**: the determinism contract
     /// (`DESIGN.md` §6) guarantees bit-identical results at any thread
@@ -195,6 +209,7 @@ impl Params {
         fp.write_usize(self.price_levels);
         fp.write_f64(self.objective_alpha);
         fp.write_f64(self.unit_cost);
+        self.objective.write_fingerprint(&mut fp);
         fp.finish()
     }
 
@@ -275,6 +290,17 @@ mod tests {
         // The thread knob is outside the fingerprint (DESIGN.md §6: thread
         // count never affects results, so it must not split cache keys).
         assert_eq!(base.fingerprint(), base.with_threads(Threads::Fixed(8)).fingerprint());
+        // The pricing objective is inside it (a CVaR solve must never hit
+        // a cached mean solve), including the Cvar(1.0)-vs-Mean pair whose
+        // *solves* coincide — distinct keys only cost a cache miss.
+        assert_ne!(base.fingerprint(), base.with_objective(Objective::Cvar(0.9)).fingerprint());
+        assert_ne!(base.fingerprint(), base.with_objective(Objective::Cvar(1.0)).fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level")]
+    fn rejects_out_of_range_quantile_objective() {
+        Params::default().with_objective(Objective::Quantile(0.0)).validate();
     }
 
     #[test]

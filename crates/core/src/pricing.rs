@@ -25,8 +25,18 @@
 //! A free-standing [`optimize_with_price_list`] supports arbitrary price
 //! lists (the "binary search (if arbitrary price levels)" variant §4.2
 //! mentions).
+//!
+//! All entry points are thin wrappers over [`optimize_with`], which takes
+//! the candidate source ([`Candidates`]) and the revenue statistic to
+//! maximize ([`Objective`]) as parameters: mean vs lower-quantile vs CVaR
+//! is a knob, not a function family. Robust objectives re-score each
+//! candidate price against the per-user revenue distribution (see
+//! [`crate::objective`]); the exact mode stays exact because, within a
+//! constant-buyer-set price interval, every objective's utility is
+//! monotone in the price, so the optimum remains at a consumer valuation.
 
 use crate::adoption::AdoptionModel;
+use crate::objective::Objective;
 use revmax_par::par_index_map;
 
 /// Below this many candidate price levels (or price-list entries) the
@@ -77,6 +87,9 @@ pub struct PricingCtx {
     pub objective_alpha: f64,
     /// Per-unit variable cost `c`.
     pub unit_cost: f64,
+    /// Revenue statistic to maximize (`DESIGN.md` §13). [`Objective::Mean`]
+    /// reproduces the paper's expected-revenue objective bit for bit.
+    pub objective: Objective,
     /// Resolved worker-thread count for the price search (≥ 1). Results
     /// are bit-identical at any value (`DESIGN.md` §6).
     pub threads: usize,
@@ -91,6 +104,7 @@ impl PricingCtx {
             levels: p.price_levels,
             objective_alpha: p.objective_alpha,
             unit_cost: p.unit_cost,
+            objective: p.objective,
             threads: p.threads.get(),
         }
     }
@@ -100,9 +114,16 @@ impl PricingCtx {
         PricingCtx { mode: PriceMode::Grid, ..Self::from_params(p) }
     }
 
+    /// The scored utility of one candidate price. `m` is the count of
+    /// interested users (finite positive WTP); the objective pools the
+    /// two-point per-user payment distribution (`buyers` pay `price`,
+    /// `m − buyers` pay 0) into an effective buyer base. For
+    /// [`Objective::Mean`], `base == buyers` and this is exactly the
+    /// pre-objective expression — bit-identical arithmetic.
     #[inline]
-    fn objective(&self, price: f64, buyers: f64, surplus: f64) -> f64 {
-        self.objective_alpha * (price - self.unit_cost) * buyers
+    fn utility(&self, price: f64, buyers: f64, surplus: f64, m: f64) -> f64 {
+        let base = self.objective.base_buyers(buyers, m);
+        self.objective_alpha * (price - self.unit_cost) * base
             + (1.0 - self.objective_alpha) * surplus
     }
 }
@@ -122,19 +143,49 @@ fn fold_best(
     best
 }
 
-/// Optimize the price for consumers with bundle WTPs `values` (only
-/// finite positive entries matter; zero/negative/non-finite entries are
-/// ignored — non-finite WTPs cannot enter through [`crate::wtp::CsrBuilder`],
-/// but this free-standing entry point accepts arbitrary slices).
-pub fn optimize(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
+/// Where candidate prices come from: the mode-driven machinery (consumer
+/// valuations or the `T`-level grid per [`PricingCtx::mode`]) or an
+/// explicit arbitrary price list.
+#[derive(Debug, Clone, Copy)]
+pub enum Candidates<'a> {
+    /// Candidates per `ctx.mode`: valuations (exact) or the equi-spaced
+    /// grid.
+    Auto,
+    /// Score exactly these prices (must be positive and finite).
+    List(&'a [f64]),
+}
+
+/// The one objective-aware pricing entry point: optimize the price for
+/// consumers with bundle WTPs `values` under an explicit [`Objective`]
+/// (overriding `ctx.objective`) and candidate source. Only finite
+/// positive WTP entries matter; zero/negative/non-finite entries are
+/// ignored — non-finite WTPs cannot enter through
+/// [`crate::wtp::CsrBuilder`], but this free-standing entry point accepts
+/// arbitrary slices. [`optimize`] and [`optimize_with_price_list`] are
+/// thin wrappers that pass `ctx.objective` through.
+pub fn optimize_with(
+    values: &[f64],
+    ctx: &PricingCtx,
+    objective: Objective,
+    candidates: Candidates<'_>,
+) -> PricedOutcome {
+    let ctx = PricingCtx { objective, ..*ctx };
     let positive: Vec<f64> = values.iter().copied().filter(|&w| w.is_finite() && w > 0.0).collect();
     if positive.is_empty() {
         return PricedOutcome::zero();
     }
-    match (ctx.mode, ctx.adoption.is_step()) {
-        (PriceMode::Exact, true) => optimize_exact_step(&positive, ctx),
-        _ => optimize_grid(&positive, ctx),
+    match candidates {
+        Candidates::Auto => match (ctx.mode, ctx.adoption.is_step()) {
+            (PriceMode::Exact, true) => optimize_exact_step(&positive, &ctx),
+            _ => optimize_grid(&positive, &ctx),
+        },
+        Candidates::List(prices) => optimize_price_list(&positive, &ctx, prices),
     }
+}
+
+/// Optimize under the context's own objective with mode-driven candidates.
+pub fn optimize(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
+    optimize_with(values, ctx, ctx.objective, Candidates::Auto)
 }
 
 /// Exact optimum under step adoption: the optimal price is at some
@@ -157,6 +208,7 @@ fn optimize_exact_step(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
     for &w in &sorted {
         prefix.push(prefix.last().unwrap() + w);
     }
+    let m = sorted.len() as f64;
     let mut best = PricedOutcome::zero();
     let mut k = 0usize;
     while k < sorted.len() {
@@ -168,7 +220,7 @@ fn optimize_exact_step(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
         let price = alpha * sorted[k];
         let buyers = end as f64;
         let surplus = prefix[end] - price * buyers;
-        let utility = ctx.objective(price, buyers, surplus);
+        let utility = ctx.utility(price, buyers, surplus, m);
         if utility > best.utility || (utility == best.utility && price < best.price) {
             best = PricedOutcome {
                 price,
@@ -189,6 +241,7 @@ fn optimize_exact_step(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
 /// is represented by its mean valuation.
 fn optimize_grid(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
     let t = ctx.levels.max(1);
+    let m = values.len() as f64;
     let alpha = ctx.adoption.alpha;
     let vmax = values.iter().fold(0.0f64, |m, &w| m.max(alpha * w));
     if vmax <= 0.0 {
@@ -233,7 +286,7 @@ fn optimize_grid(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
                 continue;
             }
             let surplus = raw - price * buyers;
-            let utility = ctx.objective(price, buyers, surplus);
+            let utility = ctx.utility(price, buyers, surplus, m);
             if utility > best.utility || (utility == best.utility && price < best.price) {
                 best = PricedOutcome {
                     price,
@@ -264,7 +317,7 @@ fn optimize_grid(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
                 buyers += count[c] * p_adopt;
                 surplus += count[c] * p_adopt * (mean_raw - price);
             }
-            let utility = ctx.objective(price, buyers, surplus);
+            let utility = ctx.utility(price, buyers, surplus, m);
             PricedOutcome {
                 price,
                 expected_buyers: buyers,
@@ -285,23 +338,30 @@ fn optimize_grid(values: &[f64], ctx: &PricingCtx) -> PricedOutcome {
 
 /// Price search over an explicit, arbitrary price list (sorted or not).
 /// Scores every listed price exactly (no bucketing); `O(M · |list|)`.
+/// Thin wrapper over [`optimize_with`] with [`Candidates::List`].
 pub fn optimize_with_price_list(values: &[f64], ctx: &PricingCtx, prices: &[f64]) -> PricedOutcome {
-    let positive: Vec<f64> = values.iter().copied().filter(|&w| w > 0.0).collect();
-    if positive.is_empty() || prices.is_empty() {
+    optimize_with(values, ctx, ctx.objective, Candidates::List(prices))
+}
+
+/// List-candidate scoring; `positive` is already filtered to finite
+/// positive WTPs by [`optimize_with`].
+fn optimize_price_list(positive: &[f64], ctx: &PricingCtx, prices: &[f64]) -> PricedOutcome {
+    if prices.is_empty() {
         return PricedOutcome::zero();
     }
+    let m = positive.len() as f64;
     // Each listed price is scored independently; the argmax scan keeps the
     // list order, so parallelism cannot change the winner or tie-breaks.
     let score_price = |price: f64| {
         assert!(price.is_finite() && price > 0.0, "price list entries must be positive");
         let mut buyers = 0.0;
         let mut surplus = 0.0;
-        for &w in &positive {
+        for &w in positive {
             let p_adopt = ctx.adoption.probability(w, price);
             buyers += p_adopt;
             surplus += p_adopt * (w - price);
         }
-        let utility = ctx.objective(price, buyers, surplus);
+        let utility = ctx.utility(price, buyers, surplus, m);
         PricedOutcome { price, expected_buyers: buyers, revenue: price * buyers, surplus, utility }
     };
     if ctx.threads > 1 && prices.len() >= PAR_LEVELS_MIN {
@@ -533,6 +593,92 @@ mod tests {
         let out = optimize(&[1e-320], &ctx);
         assert_eq!(out, PricedOutcome::zero());
         assert!(out.price.is_finite() && out.revenue.is_finite());
+    }
+
+    #[test]
+    fn cvar_objective_charges_defensively() {
+        // One whale at 100, nine users at 5. Mean pricing charges the
+        // whale; CVaR 0.5 scores revenue by the worst half of users, so
+        // it must serve the crowd at 5 instead.
+        let mut values = vec![5.0; 9];
+        values.push(100.0);
+        let mean = optimize(&values, &step_ctx());
+        assert!((mean.price - 100.0).abs() < 1e-9);
+        let cvar = optimize_with(&values, &step_ctx(), Objective::Cvar(0.5), Candidates::Auto);
+        assert!((cvar.price - 5.0).abs() < 1e-9, "cvar price {}", cvar.price);
+        // 10 buyers at 5, lowest 5 units all paid → base 5/0.5... the
+        // utility reflects the robust statistic, revenue the mean one.
+        assert!((cvar.revenue - 50.0).abs() < 1e-9);
+        assert!((cvar.utility - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_objective_serves_the_quantile() {
+        // Quantile 0.5 pays only when more than half the interested users
+        // buy: price must drop to the median valuation or below.
+        let values = [10.0, 8.0, 6.0, 4.0, 2.0];
+        let out = optimize_with(&values, &step_ctx(), Objective::Quantile(0.5), Candidates::Auto);
+        // rank-3 user (of 5) must buy: price ≤ 6, and 6 maximizes m·p.
+        assert!((out.price - 6.0).abs() < 1e-9, "price {}", out.price);
+        assert_eq!(out.expected_buyers, 3.0);
+        assert!((out.utility - 5.0 * 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cvar_at_one_is_mean_bit_for_bit() {
+        let values: Vec<f64> = (0..300).map(|k| 0.5 + (k % 61) as f64 * 0.73).collect();
+        for mode in [PriceMode::Exact, PriceMode::Grid] {
+            for gamma in [1e6, 1.5] {
+                let mut ctx = step_ctx();
+                ctx.mode = mode;
+                ctx.adoption.gamma = gamma;
+                let mean = optimize_with(&values, &ctx, Objective::Mean, Candidates::Auto);
+                let cvar = optimize_with(&values, &ctx, Objective::Cvar(1.0), Candidates::Auto);
+                assert_eq!(mean.price.to_bits(), cvar.price.to_bits());
+                assert_eq!(mean.utility.to_bits(), cvar.utility.to_bits());
+                assert_eq!(mean.revenue.to_bits(), cvar.revenue.to_bits());
+            }
+        }
+        let prices: Vec<f64> = (1..=40).map(|k| k as f64 * 0.9).collect();
+        let ctx = step_ctx();
+        let mean = optimize_with(&values, &ctx, Objective::Mean, Candidates::List(&prices));
+        let cvar = optimize_with(&values, &ctx, Objective::Cvar(1.0), Candidates::List(&prices));
+        assert_eq!(mean, cvar);
+    }
+
+    #[test]
+    fn robust_parallel_search_is_bit_identical() {
+        // Robust objectives through the parallel sigmoid grid and price
+        // list: winner must match single-threaded bit for bit.
+        let values: Vec<f64> = (0..650).map(|k| 1.0 + (k % 89) as f64 * 0.43).collect();
+        let mut base = step_ctx();
+        base.adoption.gamma = 1.5;
+        base.mode = PriceMode::Grid;
+        base.levels = 256;
+        for obj in [Objective::Cvar(0.7), Objective::Quantile(0.4)] {
+            let seq =
+                optimize_with(&values, &PricingCtx { threads: 1, ..base }, obj, Candidates::Auto);
+            for threads in [2, 8] {
+                let par =
+                    optimize_with(&values, &PricingCtx { threads, ..base }, obj, Candidates::Auto);
+                assert_eq!(par.price.to_bits(), seq.price.to_bits(), "{obj:?} threads={threads}");
+                assert_eq!(
+                    par.utility.to_bits(),
+                    seq.utility.to_bits(),
+                    "{obj:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn list_path_ignores_nonfinite_values_too() {
+        // The unified filter drops non-finite WTPs in list mode as well
+        // (the pre-unification list path admitted +∞ into the sums).
+        let ctx = step_ctx();
+        let out = optimize_with_price_list(&[f64::INFINITY, f64::NAN, 6.0], &ctx, &[5.0]);
+        assert_eq!(out.expected_buyers, 1.0);
+        assert!((out.revenue - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 mod data;
 mod generator;
 pub mod genre;
+pub mod heavytail;
 pub mod io;
 pub mod kcore;
 pub mod scale;
@@ -36,3 +37,4 @@ pub mod stats;
 pub use data::{DatasetSummary, Rating, RatingsData};
 pub use generator::AmazonBooksConfig;
 pub use genre::GenreClusterConfig;
+pub use heavytail::{heavy_tail_wtps, TailDist};

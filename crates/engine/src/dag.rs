@@ -9,15 +9,17 @@
 //!
 //! Expansion **deduplicates shared prefixes**: a repeated seed value maps
 //! to the one `Dataset` node it already created, and a repeated
-//! `(scale, seed, θ)` triple maps to the one `Market` node — so duplicate
-//! axis values cost nothing upstream of the solve stage (the solve cells
-//! themselves are collapsed later by the fingerprint-keyed solve cache,
-//! which also catches duplicates the grid structure cannot see). Jobs are
-//! appended in one deterministic grid order (scale → seed → θ → cohort →
-//! method), and results are assembled in cell order regardless of the
+//! `(scale, seed, θ, dist, objective)` tuple maps to the one `Market`
+//! node — so duplicate axis values cost nothing upstream of the solve
+//! stage (the solve cells themselves are collapsed later by the
+//! fingerprint-keyed solve cache, which also catches duplicates the grid
+//! structure cannot see). Jobs are appended in one deterministic grid
+//! order (scale → seed → θ → dist → objective → cohort → method), and
+//! results are assembled in cell order regardless of the
 //! execution interleaving — the `DESIGN.md` §6 contract at fleet scale.
 
-use crate::spec::{ScaleSpec, SweepSpec};
+use crate::spec::{ScaleSpec, SweepSpec, WtpDist};
+use revmax_core::prelude::Objective;
 
 /// Index into [`JobDag::jobs`].
 pub type JobId = usize;
@@ -65,8 +67,9 @@ pub fn cell_axis(cohorts: usize, methods: &[String]) -> Vec<(Cohort, String)> {
 pub enum JobKind {
     /// Generate the synthetic ratings dataset for `(scale, seed)`.
     Dataset { scale: ScaleSpec, seed: u64 },
-    /// Build a market (WTP matrix + θ-bearing params) from a dataset.
-    Market { dataset: usize, theta: f64 },
+    /// Build a market (WTP matrix + θ/objective-bearing params) from a
+    /// dataset, under one WTP distribution.
+    Market { dataset: usize, theta: f64, dist: WtpDist, objective: Objective },
     /// Partition a market into activity cohorts (present iff `cohorts ≥ 1`).
     Partition { market: usize, cohorts: usize },
     /// Run one configurator on one cohort of one market.
@@ -90,6 +93,10 @@ pub struct CellMeta {
     pub scale: ScaleSpec,
     pub seed: u64,
     pub theta: f64,
+    /// The cell's WTP distribution (rating map or heavy-tailed redraw).
+    pub dist: WtpDist,
+    /// The cell's pricing objective.
+    pub objective: Objective,
     pub cohort: Cohort,
     pub method: String,
 }
@@ -130,8 +137,10 @@ impl JobDag {
         // (key, stage index) lists; linear scans keep the lookup
         // deterministic with no hashing of f64 keys.
         let mut dataset_keys: Vec<(ScaleSpec, u64)> = Vec::new();
-        let mut market_keys: Vec<(usize, u64)> = Vec::new(); // (dataset idx, θ bits)
+        // (dataset idx, θ bits, dist, objective)
+        let mut market_keys: Vec<(usize, u64, WtpDist, Objective)> = Vec::new();
         let mut partition_of: Vec<JobId> = Vec::new(); // per market stage index
+        let dists = spec.wtp_dists();
 
         for &scale in &spec.scales {
             for &seed in &spec.seeds {
@@ -145,43 +154,61 @@ impl JobDag {
                     }
                 };
                 for &theta in &spec.thetas {
-                    let mkey = (ds_idx, theta.to_bits());
-                    let mk_idx = match market_keys.iter().position(|&k| k == mkey) {
-                        Some(i) => i,
-                        None => {
-                            let dep = dag.datasets[ds_idx];
-                            let job =
-                                dag.push(JobKind::Market { dataset: ds_idx, theta }, vec![dep]);
-                            market_keys.push(mkey);
-                            dag.markets.push(job);
-                            let mk = dag.markets.len() - 1;
-                            if spec.cohorts >= 1 {
-                                let pj = dag.push(
-                                    JobKind::Partition { market: mk, cohorts: spec.cohorts },
-                                    vec![job],
+                    for &dist in &dists {
+                        for &objective in &spec.objectives {
+                            let mkey = (ds_idx, theta.to_bits(), dist, objective);
+                            let mk_idx = match market_keys.iter().position(|&k| k == mkey) {
+                                Some(i) => i,
+                                None => {
+                                    let dep = dag.datasets[ds_idx];
+                                    let job = dag.push(
+                                        JobKind::Market { dataset: ds_idx, theta, dist, objective },
+                                        vec![dep],
+                                    );
+                                    market_keys.push(mkey);
+                                    dag.markets.push(job);
+                                    let mk = dag.markets.len() - 1;
+                                    if spec.cohorts >= 1 {
+                                        let pj = dag.push(
+                                            JobKind::Partition {
+                                                market: mk,
+                                                cohorts: spec.cohorts,
+                                            },
+                                            vec![job],
+                                        );
+                                        dag.partitions.push(pj);
+                                        partition_of.push(pj);
+                                    }
+                                    mk
+                                }
+                            };
+                            let upstream = if spec.cohorts >= 1 {
+                                partition_of[mk_idx]
+                            } else {
+                                dag.markets[mk_idx]
+                            };
+                            for (cohort, method) in cell_axis(spec.cohorts, &spec.methods) {
+                                let job = dag.push(
+                                    JobKind::Solve {
+                                        market: mk_idx,
+                                        cohort,
+                                        method: method.clone(),
+                                    },
+                                    vec![upstream],
                                 );
-                                dag.partitions.push(pj);
-                                partition_of.push(pj);
+                                dag.cells.push(CellMeta {
+                                    job,
+                                    market: mk_idx,
+                                    scale,
+                                    seed,
+                                    theta,
+                                    dist,
+                                    objective,
+                                    cohort,
+                                    method,
+                                });
                             }
-                            mk
                         }
-                    };
-                    let upstream =
-                        if spec.cohorts >= 1 { partition_of[mk_idx] } else { dag.markets[mk_idx] };
-                    for (cohort, method) in cell_axis(spec.cohorts, &spec.methods) {
-                        let job = dag.push(
-                            JobKind::Solve { market: mk_idx, cohort, method: method.clone() },
-                            vec![upstream],
-                        );
-                        dag.cells.push(CellMeta {
-                            job,
-                            market: mk_idx,
-                            scale,
-                            seed,
-                            theta,
-                            cohort,
-                            method,
-                        });
                     }
                 }
             }
@@ -276,6 +303,28 @@ mod tests {
         let from_dag: Vec<(Cohort, String)> =
             dag.cells.iter().map(|c| (c.cohort, c.method.clone())).collect();
         assert_eq!(from_dag, axis);
+    }
+
+    #[test]
+    fn dist_and_objective_axes_key_the_market_stage() {
+        use crate::spec::DistKind;
+        let mut sp = spec(vec![1], vec![0.0], 0);
+        sp.dists = vec![DistKind::Rating, DistKind::Pareto];
+        sp.tails = vec![2.0];
+        sp.objectives = vec![Objective::Mean, Objective::Cvar(0.9)];
+        let dag = JobDag::expand(&sp);
+        let s = dag.summary();
+        assert_eq!(s.datasets, 1, "one dataset feeds every dist/objective market");
+        assert_eq!(s.markets, 4, "2 dists x 2 objectives");
+        assert_eq!(s.solves, 2 * 4);
+        // Grid order: dist outer, objective inner.
+        assert_eq!(dag.cells[0].dist, WtpDist::Rating);
+        assert_eq!(dag.cells[0].objective, Objective::Mean);
+        assert_eq!(dag.cells[2].objective, Objective::Cvar(0.9));
+        assert_eq!(dag.cells[4].dist, WtpDist::Pareto { alpha: 2.0 });
+        // Repeating an axis value reuses the market job.
+        sp.objectives = vec![Objective::Mean, Objective::Mean];
+        assert_eq!(JobDag::expand(&sp).summary().markets, 2);
     }
 
     #[test]

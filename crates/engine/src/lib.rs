@@ -40,11 +40,11 @@ pub use cache::{CacheStats, OutcomeCache, SolveCache};
 pub use dag::{Cohort, DagSummary, JobDag};
 pub use live::{LiveCell, LiveEngine, LiveReport};
 pub use report::{BenchEntry, CellResult, SolveTiming, SweepReport};
-pub use spec::{ScaleSpec, SweepSpec};
+pub use spec::{DistKind, ScaleSpec, SweepSpec, WtpDist};
 
 use revmax_core::algorithms;
 use revmax_core::market::{Market, MarketView};
-use revmax_core::prelude::{Params, Threads, WtpMatrix};
+use revmax_core::prelude::{Objective, Params, Threads, WtpMatrix};
 use revmax_par::par_index_map;
 use std::time::{Duration, Instant};
 
@@ -71,20 +71,49 @@ pub fn activity_labels(market: &Market, k: usize) -> Vec<u32> {
 
 /// Build the engine's canonical market over a ratings dataset: paper
 /// defaults with the given θ, inner solves pinned to 1 thread
-/// (`DESIGN.md` §8's no-nested-fan-out rule). This is the **single**
+/// (`DESIGN.md` §8's no-nested-fan-out rule), rating-mapped WTPs, mean
+/// objective. Delegates to [`market_from_cell`] — the **single**
 /// construction recipe shared by the sweep executor's Market stage,
-/// [`rebuild_cell_market`], and the serving benches/tests — the §8.2
+/// [`rebuild_cell_market`], and the serving benches/tests; the §8.2
 /// fingerprint check in `rebuild_cell_market` relies on every producer
 /// and consumer of a cell market using exactly this.
 pub fn market_from_data(data: &revmax_dataset::RatingsData, theta: f64) -> Market {
-    let params = Params::default().with_theta(theta).with_threads(Threads::Fixed(1));
-    let wtp = WtpMatrix::from_ratings(
-        data.n_users(),
-        data.n_items(),
-        data.triples(),
-        data.prices(),
-        params.lambda,
-    );
+    market_from_cell(data, 0, theta, WtpDist::Rating, Objective::Mean)
+}
+
+/// Build one sweep cell's market: `data`'s rating structure with WTPs
+/// from `dist` (the λ-linear rating map, or a seeded heavy-tailed redraw —
+/// `seed` is the cell's dataset seed, so the magnitudes are as
+/// reproducible as the dataset itself and ignored for [`WtpDist::Rating`]),
+/// θ and the pricing `objective` in the params, inner solves pinned to 1
+/// thread. For `(Rating, Mean)` this is bit-identical to what
+/// [`market_from_data`] always built.
+pub fn market_from_cell(
+    data: &revmax_dataset::RatingsData,
+    seed: u64,
+    theta: f64,
+    dist: WtpDist,
+    objective: Objective,
+) -> Market {
+    let params = Params::default()
+        .with_theta(theta)
+        .with_threads(Threads::Fixed(1))
+        .with_objective(objective);
+    let wtp = match dist.tail_dist() {
+        None => WtpMatrix::from_ratings(
+            data.n_users(),
+            data.n_items(),
+            data.triples(),
+            data.prices(),
+            params.lambda,
+        ),
+        Some(td) => WtpMatrix::from_triples(
+            data.n_users(),
+            data.n_items(),
+            revmax_dataset::heavy_tail_wtps(data, td, seed),
+            Some(data.prices().to_vec()),
+        ),
+    };
     Market::new(wtp, params)
 }
 
@@ -98,7 +127,7 @@ pub fn market_from_data(data: &revmax_dataset::RatingsData, theta: f64) -> Marke
 /// "sweep cell → `MenuIndex` in one call" wiring (`DESIGN.md` §9).
 pub fn rebuild_cell_market(spec: &SweepSpec, cell: &CellResult) -> Result<Market, String> {
     let data = cell.scale.config().generate(cell.seed);
-    let market = market_from_data(&data, cell.theta);
+    let market = market_from_cell(&data, cell.seed, cell.theta, cell.dist, cell.objective);
     let market = match cell.cohort {
         Cohort::Whole => market,
         Cohort::Seg(k) => {
@@ -165,20 +194,23 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, String> {
         scale.config().generate(seed)
     });
 
-    // Stage 2 — markets: WTP matrix + θ-bearing params per distinct
-    // (dataset, θ). Inner solves are pinned to 1 thread: the engine owns
-    // the fan-out (DESIGN.md §8's no-nested-fan-out rule).
-    let market_params: Vec<(usize, f64)> = dag
+    // Stage 2 — markets: WTP matrix + θ/objective-bearing params per
+    // distinct (dataset, θ, dist, objective). Inner solves are pinned to 1
+    // thread: the engine owns the fan-out (DESIGN.md §8's
+    // no-nested-fan-out rule).
+    let market_params: Vec<(usize, f64, WtpDist, Objective)> = dag
         .markets
         .iter()
         .map(|&j| match dag.jobs[j].kind {
-            dag::JobKind::Market { dataset, theta } => (dataset, theta),
+            dag::JobKind::Market { dataset, theta, dist, objective } => {
+                (dataset, theta, dist, objective)
+            }
             _ => unreachable!("market stage holds market jobs"),
         })
         .collect();
     let markets: Vec<Market> = par_index_map(threads, market_params.len(), |k| {
-        let (ds, theta) = market_params[k];
-        market_from_data(&datasets[ds], theta)
+        let (ds, theta, dist, objective) = market_params[k];
+        market_from_cell(&datasets[ds], dataset_params[ds].1, theta, dist, objective)
     });
 
     if spec.cohorts >= 1 {
@@ -302,6 +334,8 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, String> {
                 scale: cell.scale,
                 theta: cell.theta,
                 seed: cell.seed,
+                dist: cell.dist,
+                objective: cell.objective,
                 cohort: cell.cohort,
                 n_users,
                 n_items,
@@ -485,6 +519,63 @@ mod tests {
         drifted.apply("cohorts", "3").unwrap();
         let err = rebuild_cell_market(&drifted, cohort_cell).unwrap_err();
         assert!(err.contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn objective_and_dist_separate_fingerprints_and_cache_keys() {
+        // Satellite bugfix: a CVaR solve must never hit a cached mean
+        // solve — the objective (and the dataset distribution knobs) are
+        // part of the market fingerprint, hence of the solve-cache key.
+        let data = ScaleSpec::Tiny.config().generate(5);
+        let mean = market_from_cell(&data, 5, 0.0, WtpDist::Rating, Objective::Mean);
+        let cvar = market_from_cell(&data, 5, 0.0, WtpDist::Rating, Objective::Cvar(0.9));
+        let pareto =
+            market_from_cell(&data, 5, 0.0, WtpDist::Pareto { alpha: 2.0 }, Objective::Mean);
+        assert_ne!(mean.fingerprint(), cvar.fingerprint());
+        assert_ne!(mean.fingerprint(), pareto.fingerprint());
+        assert_ne!(cvar.fingerprint(), pareto.fingerprint());
+        assert_ne!(
+            cache::solve_key(mean.fingerprint(), "Components"),
+            cache::solve_key(cvar.fingerprint(), "Components"),
+        );
+        // And the default construction is the pre-objective one, bit for
+        // bit (same fingerprint as the delegating market_from_data).
+        assert_eq!(mean.fingerprint(), market_from_data(&data, 0.0).fingerprint());
+    }
+
+    #[test]
+    fn objective_axis_solves_cells_separately_not_via_cache() {
+        let mut spec = tiny_spec();
+        spec.apply("objectives", "mean,cvar:0.5").unwrap();
+        let report = run_sweep(&spec).unwrap();
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.cache.hits, 0, "mean and cvar cells must not share solves");
+        assert_eq!(report.cache.misses, 4);
+        assert_eq!(report.dag.markets, 2);
+        // The objective rides the report rows and the bench ids.
+        assert!(report.cells.iter().any(|c| c.objective == Objective::Cvar(0.5)));
+        let entries = report.bench_entries();
+        assert!(entries.iter().any(|e| e.id == "sweep_tiny/theta0/components"));
+        assert!(entries.iter().any(|e| e.id == "sweep_tiny/theta0/cvar0.5/components"));
+    }
+
+    #[test]
+    fn heavy_tail_sweep_runs_and_rebuilds() {
+        let mut spec = tiny_spec();
+        spec.apply("dists", "rating,pareto,lognormal").unwrap();
+        spec.apply("tails", "2").unwrap();
+        spec.apply("cohorts", "2").unwrap();
+        let report = run_sweep(&spec).unwrap();
+        assert_eq!(report.cells.len(), 2 * 3 * 3); // methods x dists x (whole+2)
+        assert!(report.cells.iter().all(|c| c.revenue.is_finite() && c.revenue > 0.0));
+        // Heavy-tail cells rebuild to the same fingerprint (seeded redraw).
+        for cell in report.cells.iter().filter(|c| c.dist != WtpDist::Rating) {
+            let market = rebuild_cell_market(&spec, cell).unwrap();
+            assert_eq!(market.fingerprint(), cell.fingerprint);
+        }
+        let entries = report.bench_entries();
+        assert!(entries.iter().any(|e| e.id == "sweep_tiny/theta0/pareto2/components"));
+        assert!(entries.iter().any(|e| e.id == "sweep_tiny/theta0/lognormal2/components"));
     }
 
     #[test]

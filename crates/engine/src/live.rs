@@ -21,6 +21,7 @@ use crate::{activity_labels, spec};
 use revmax_core::algorithms;
 use revmax_core::config::Outcome;
 use revmax_core::market::Market;
+use revmax_core::prelude::Objective;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -29,6 +30,10 @@ use std::sync::Arc;
 pub struct LiveCell {
     pub method: String,
     pub cohort: Cohort,
+    /// The pricing objective the cell's market carries — surfaced so a
+    /// serving diagnostic can tell a robust (CVaR/quantile) menu from a
+    /// mean-revenue one at a glance.
+    pub objective: Objective,
     pub n_users: usize,
     pub n_items: usize,
     /// Content fingerprint of the cell's (sub-)market.
@@ -67,8 +72,9 @@ impl LiveReport {
         for c in &self.cells {
             writeln!(
                 s,
-                "{}|live|{}|{}x{}|fp:{:016x}|bvs:{:016x}|{}",
+                "{}|live|{}|{}|{}x{}|fp:{:016x}|bvs:{:016x}|{}",
                 c.method,
+                c.objective.id_fragment(),
                 c.cohort,
                 c.n_users,
                 c.n_items,
@@ -216,6 +222,7 @@ impl LiveEngine {
             cells.push(LiveCell {
                 method,
                 cohort,
+                objective: m.params().objective,
                 n_users: m.n_users(),
                 n_items: m.n_items(),
                 fingerprint: fp,
@@ -337,6 +344,7 @@ mod tests {
         assert_eq!(eng.methods(), &["Components".to_string()]);
         assert_eq!(eng.cohorts(), 1);
         let report = eng.resolve(&tiny_market()).unwrap();
+        assert!(report.cells.iter().all(|c| c.objective == Objective::Mean));
         assert_eq!(report.whole_revenue("Components"), Some(report.cells[0].revenue));
         assert_eq!(report.whole_revenue("nope"), None);
         let whole = report.whole_cell().unwrap();

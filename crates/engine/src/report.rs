@@ -6,8 +6,9 @@
 
 use crate::cache::CacheStats;
 use crate::dag::{Cohort, DagSummary};
-use crate::spec::ScaleSpec;
+use crate::spec::{ScaleSpec, WtpDist};
 use revmax_core::config::{BundleConfig, OfferNode, Outcome};
+use revmax_core::prelude::Objective;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -44,6 +45,10 @@ pub struct CellResult {
     pub scale: ScaleSpec,
     pub theta: f64,
     pub seed: u64,
+    /// The cell's WTP distribution (rating map or heavy-tailed redraw).
+    pub dist: WtpDist,
+    /// The pricing objective the cell was solved under.
+    pub objective: Objective,
     pub cohort: Cohort,
     pub n_users: usize,
     pub n_items: usize,
@@ -133,11 +138,13 @@ impl SweepReport {
         for c in &self.cells {
             writeln!(
                 s,
-                "{}|{}|theta:{:016x}|seed:{}|{}|{}x{}|fp:{:016x}|bvs:{:016x}|{}",
+                "{}|{}|theta:{:016x}|seed:{}|{}|{}|{}|{}x{}|fp:{:016x}|bvs:{:016x}|{}",
                 c.method,
                 c.scale.name(),
                 c.theta.to_bits(),
                 c.seed,
+                c.dist.id_fragment(),
+                c.objective.id_fragment(),
                 c.cohort,
                 c.n_users,
                 c.n_items,
@@ -153,8 +160,8 @@ impl SweepReport {
     /// Column-aligned human table plus cache/DAG footer.
     pub fn render_table(&self) -> String {
         let header = [
-            "method", "scale", "theta", "seed", "cohort", "users", "revenue", "gain", "b/s",
-            "time", "",
+            "method", "scale", "theta", "seed", "dist", "obj", "cohort", "users", "revenue",
+            "gain", "b/s", "time", "",
         ];
         let mut rows: Vec<Vec<String>> = vec![header.iter().map(|s| s.to_string()).collect()];
         for c in &self.cells {
@@ -163,6 +170,8 @@ impl SweepReport {
                 c.scale.name().into(),
                 format!("{}", c.theta),
                 format!("{}", c.seed),
+                c.dist.id_fragment(),
+                c.objective.id_fragment(),
                 c.cohort.to_string(),
                 format!("{}", c.n_users),
                 format!("{:.2}", c.revenue),
@@ -212,11 +221,14 @@ impl SweepReport {
     }
 
     /// Timing export in the `BENCH_JSON` entry shape. One entry per
-    /// distinct `sweep_<scale>/theta<θ>/<method>` id, aggregated over the
-    /// **whole-market, uncached** cells of that id (cohort solves are a
-    /// different workload and cached cells have no timing of their own), so
-    /// a sweep export lines up against the committed end-to-end criterion
-    /// baselines (`BENCH_pr3.json`'s `endtoend_small/<method>`).
+    /// distinct `sweep_<scale>/theta<θ>/<method>` id — with `/<dist>` and
+    /// `/<objective>` segments inserted before the method **only for
+    /// non-default cells** (heavy-tailed dists, non-mean objectives), so
+    /// the rating/mean ids stay byte-identical to what `perf_check`'s
+    /// committed baselines map (`BENCH_pr3.json`'s
+    /// `endtoend_small/<method>`). Entries aggregate over the
+    /// **whole-market, uncached** cells of their id (cohort solves are a
+    /// different workload and cached cells have no timing of their own).
     pub fn bench_entries(&self) -> Vec<BenchEntry> {
         let mut entries: Vec<BenchEntry> = Vec::new();
         for c in &self.cells {
@@ -224,12 +236,14 @@ impl SweepReport {
             if c.cohort != Cohort::Whole {
                 continue;
             }
-            let id = format!(
-                "sweep_{}/theta{}/{}",
-                c.scale.name(),
-                c.theta,
-                c.method.to_lowercase().replace(' ', "_")
-            );
+            let mut id = format!("sweep_{}/theta{}", c.scale.name(), c.theta);
+            if c.dist != WtpDist::Rating {
+                write!(id, "/{}", c.dist.id_fragment()).unwrap();
+            }
+            if c.objective != Objective::Mean {
+                write!(id, "/{}", c.objective.id_fragment()).unwrap();
+            }
+            write!(id, "/{}", c.method.to_lowercase().replace(' ', "_")).unwrap();
             match entries.iter_mut().find(|e| e.id == id) {
                 Some(e) => {
                     // Weighted mean over all repetitions of all cells.

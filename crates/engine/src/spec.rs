@@ -1,5 +1,6 @@
 //! The sweep specification: a grid over configurators, scales, θ values,
-//! seeds, and a cohort-partition axis, plus execution knobs.
+//! seeds, WTP distributions, pricing objectives, and a cohort-partition
+//! axis, plus execution knobs.
 //!
 //! Specs parse from a tiny hand-rolled `key=value` format (values CSV) so
 //! the `sweep` binary needs no external dependencies (vendor policy):
@@ -11,6 +12,11 @@
 //! thetas=0,0.05          # bundling coefficients (CSV of f64)
 //! seeds=2015,2015        # generator seeds; repeats are legal — the solve
 //!                        # cache collapses the duplicate cells
+//! dists=rating,pareto    # WTP magnitudes: rating|pareto|lognormal (CSV)
+//! tails=4,2,1.5          # tail knobs — each heavy-tailed dist kind is
+//!                        # crossed with every tail value (α for pareto,
+//!                        # σ for lognormal); rating ignores them
+//! objectives=mean,cvar:0.9  # pricing objective axis (mean|cvar:Q|quantile:Q)
 //! cohorts=3              # 0 = whole market only; k ≥ 1 adds k activity
 //!                        # cohorts alongside the whole-market cell
 //! repeat=5               # timing repetitions per unique solve
@@ -22,8 +28,8 @@
 //! ```
 
 use revmax_core::algorithms;
-use revmax_core::prelude::Threads;
-use revmax_dataset::AmazonBooksConfig;
+use revmax_core::prelude::{Objective, Threads};
+use revmax_dataset::{AmazonBooksConfig, TailDist};
 
 /// Dataset scale presets for the sweep axes. `Tiny` is an
 /// engine-test-only preset (a few dozen consumers, fast in debug builds);
@@ -75,6 +81,73 @@ impl ScaleSpec {
     }
 }
 
+/// One WTP-distribution *kind* on the spec's `dists` axis; heavy-tailed
+/// kinds are crossed with every `tails` knob by [`SweepSpec::wtp_dists`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistKind {
+    /// The paper's λ-linear rating→WTP map (tail knobs ignored).
+    Rating,
+    /// Pareto magnitudes, tail index α per `tails` entry.
+    Pareto,
+    /// Lognormal magnitudes, log-scale σ per `tails` entry.
+    LogNormal,
+}
+
+impl DistKind {
+    /// Parse a spec-syntax dist kind.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "rating" => Ok(DistKind::Rating),
+            "pareto" => Ok(DistKind::Pareto),
+            "lognormal" => Ok(DistKind::LogNormal),
+            other => Err(format!("unknown dist '{other}' (rating|pareto|lognormal)")),
+        }
+    }
+}
+
+/// A fully-resolved WTP distribution of one sweep cell: the rating map or
+/// a heavy-tailed magnitude redraw with its tail knob bound
+/// ([`revmax_dataset::heavytail`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WtpDist {
+    /// λ-linear rating→WTP map (the paper's default).
+    Rating,
+    /// Pareto magnitudes with tail index `alpha` (smaller = heavier).
+    Pareto { alpha: f64 },
+    /// Lognormal magnitudes with log-scale `sigma` (larger = heavier).
+    LogNormal { sigma: f64 },
+}
+
+impl WtpDist {
+    /// Filesystem/bench-id safe fragment (no separators): `rating`,
+    /// `pareto2`, `lognormal1.5`. Doubles as the report-table label.
+    pub fn id_fragment(&self) -> String {
+        match *self {
+            WtpDist::Rating => "rating".to_string(),
+            WtpDist::Pareto { alpha } => format!("pareto{alpha}"),
+            WtpDist::LogNormal { sigma } => format!("lognormal{sigma}"),
+        }
+    }
+
+    /// The kind this resolved dist came from.
+    pub fn kind(&self) -> DistKind {
+        match self {
+            WtpDist::Rating => DistKind::Rating,
+            WtpDist::Pareto { .. } => DistKind::Pareto,
+            WtpDist::LogNormal { .. } => DistKind::LogNormal,
+        }
+    }
+
+    /// The heavy-tail sampler behind this dist (`None` for the rating map).
+    pub fn tail_dist(&self) -> Option<TailDist> {
+        match *self {
+            WtpDist::Rating => None,
+            WtpDist::Pareto { alpha } => Some(TailDist::Pareto { alpha }),
+            WtpDist::LogNormal { sigma } => Some(TailDist::LogNormal { sigma }),
+        }
+    }
+}
+
 /// A batch sweep: the grid axes plus execution knobs. Axis values are
 /// kept verbatim — **duplicates are legal** (e.g. a repeated seed) and are
 /// collapsed by the job DAG and the solve cache rather than rejected, so a
@@ -89,6 +162,15 @@ pub struct SweepSpec {
     pub thetas: Vec<f64>,
     /// Generator seeds.
     pub seeds: Vec<u64>,
+    /// WTP-distribution kinds; heavy-tailed kinds are crossed with every
+    /// `tails` value by [`SweepSpec::wtp_dists`].
+    pub dists: Vec<DistKind>,
+    /// Tail knobs (α for `pareto`, σ for `lognormal`); may be empty when
+    /// `dists` holds only `rating`.
+    pub tails: Vec<f64>,
+    /// Pricing-objective axis ([`Objective`]); each market cell is solved
+    /// once per objective, under separate solve-cache keys.
+    pub objectives: Vec<Objective>,
     /// `0` solves the whole market only; `k ≥ 1` additionally partitions
     /// each market into `k` activity cohorts (balanced by rating count)
     /// and solves every cohort, so per-segment menus can be compared
@@ -111,14 +193,18 @@ pub struct SweepSpec {
 }
 
 impl Default for SweepSpec {
-    /// All seven registry methods, small scale, θ = 0, seed 2015, whole
-    /// market only, one repetition, cache on, auto fan-out.
+    /// All seven registry methods, small scale, θ = 0, seed 2015, rating
+    /// WTPs, mean objective, whole market only, one repetition, cache on,
+    /// auto fan-out.
     fn default() -> Self {
         SweepSpec {
             methods: algorithms::registry().iter().map(|(n, _)| n.to_string()).collect(),
             scales: vec![ScaleSpec::Small],
             thetas: vec![0.0],
             seeds: vec![2015],
+            dists: vec![DistKind::Rating],
+            tails: Vec::new(),
+            objectives: vec![Objective::Mean],
             cohorts: 0,
             repeat: 1,
             budget_ms: 0,
@@ -182,6 +268,17 @@ impl SweepSpec {
                     .map(|s| s.parse::<u64>().map_err(|_| format!("seed '{s}' is not a u64")))
                     .collect::<Result<_, _>>()?;
             }
+            "dist" | "dists" => {
+                self.dists = csv().map(DistKind::parse).collect::<Result<_, _>>()?;
+            }
+            "tail" | "tails" => {
+                self.tails = csv()
+                    .map(|s| s.parse::<f64>().map_err(|_| format!("tail '{s}' is not a number")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "objective" | "objectives" => {
+                self.objectives = csv().map(Objective::parse).collect::<Result<_, _>>()?;
+            }
             "cohorts" => {
                 self.cohorts =
                     value.parse().map_err(|_| format!("cohorts '{value}' is not a usize"))?;
@@ -214,7 +311,7 @@ impl SweepSpec {
                     Threads::Fixed(n)
                 };
             }
-            other => return Err(format!("unknown spec key '{other}'")),
+            other => return Err(unknown_spec_key(other)),
         }
         Ok(())
     }
@@ -236,6 +333,24 @@ impl SweepSpec {
         Ok(())
     }
 
+    /// The concrete WTP-distribution axis: `rating` appears once, each
+    /// heavy-tailed kind is crossed with every `tails` knob, in spec order.
+    pub fn wtp_dists(&self) -> Vec<WtpDist> {
+        let mut out = Vec::new();
+        for &kind in &self.dists {
+            match kind {
+                DistKind::Rating => out.push(WtpDist::Rating),
+                DistKind::Pareto => {
+                    out.extend(self.tails.iter().map(|&alpha| WtpDist::Pareto { alpha }))
+                }
+                DistKind::LogNormal => {
+                    out.extend(self.tails.iter().map(|&sigma| WtpDist::LogNormal { sigma }))
+                }
+            }
+        }
+        out
+    }
+
     /// Check the spec is runnable: non-empty axes, `repeat ≥ 1`.
     pub fn validate(&self) -> Result<(), String> {
         if self.methods.is_empty() {
@@ -252,12 +367,83 @@ impl SweepSpec {
                 return Err(format!("theta must be > -1, got {t}"));
             }
         }
+        if self.dists.is_empty() {
+            return Err("no dists selected".into());
+        }
+        let heavy = self.dists.iter().any(|&d| d != DistKind::Rating);
+        if heavy && self.tails.is_empty() {
+            return Err(
+                "heavy-tailed dists (pareto, lognormal) need at least one tail value".into()
+            );
+        }
+        for d in self.wtp_dists() {
+            if let Some(td) = d.tail_dist() {
+                td.validate()?;
+            }
+        }
+        if self.objectives.is_empty() {
+            return Err("no objectives selected".into());
+        }
+        for o in &self.objectives {
+            o.check()?;
+        }
         if self.repeat == 0 {
             return Err("repeat must be >= 1".into());
         }
         self.threads.validate();
         Ok(())
     }
+}
+
+/// The spec's accepted keys (canonical plural spellings), for
+/// [`unknown_spec_key`]'s listing and did-you-mean suggestion.
+const KNOWN_KEYS: &[&str] = &[
+    "methods",
+    "scales",
+    "thetas",
+    "seeds",
+    "dists",
+    "tails",
+    "objectives",
+    "cohorts",
+    "repeat",
+    "budget_ms",
+    "cache",
+    "threads",
+];
+
+/// Edit (Levenshtein) distance between two keys — same helper the bench
+/// CLIs use (`revmax-bench` depends on this crate, so it is mirrored here
+/// rather than imported).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Error text for an unrecognized spec key: names the key, lists the
+/// accepted keys, and suggests the closest known key within edit
+/// distance 2 (dropped letters and near-miss spellings, never nonsense
+/// suggestions for garbage input).
+fn unknown_spec_key(key: &str) -> String {
+    let suggestion = KNOWN_KEYS
+        .iter()
+        .map(|k| (edit_distance(key, k), *k))
+        .min()
+        .filter(|&(d, _)| d <= 2)
+        .map(|(_, k)| format!(" (did you mean '{k}'?)"))
+        .unwrap_or_default();
+    format!("unknown spec key '{key}'{suggestion}; known keys: {}", KNOWN_KEYS.join(", "))
 }
 
 #[cfg(test)]
@@ -321,6 +507,78 @@ mod tests {
         assert!(spec.apply("threads", "0").is_err());
         spec.thetas = vec![-1.5];
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn dist_tail_and_objective_axes_parse_and_expand() {
+        let mut spec = SweepSpec::default();
+        spec.apply("dists", "rating,pareto,lognormal").unwrap();
+        spec.apply("tails", "4,1.5").unwrap();
+        spec.apply("objectives", "mean,cvar:0.9,quantile:0.25").unwrap();
+        assert_eq!(
+            spec.wtp_dists(),
+            vec![
+                WtpDist::Rating,
+                WtpDist::Pareto { alpha: 4.0 },
+                WtpDist::Pareto { alpha: 1.5 },
+                WtpDist::LogNormal { sigma: 4.0 },
+                WtpDist::LogNormal { sigma: 1.5 },
+            ]
+        );
+        assert_eq!(
+            spec.objectives,
+            vec![Objective::Mean, Objective::Cvar(0.9), Objective::Quantile(0.25)]
+        );
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn heavy_dists_require_tails_and_valid_knobs() {
+        let mut spec = SweepSpec::default();
+        spec.apply("dists", "pareto").unwrap();
+        assert!(spec.validate().unwrap_err().contains("tail"));
+        spec.apply("tails", "-2").unwrap();
+        assert!(spec.validate().is_err());
+        spec.apply("tails", "2").unwrap();
+        spec.validate().unwrap();
+        // Defaults carry no tails, and that must stay valid (rating only).
+        assert!(SweepSpec::default().tails.is_empty());
+        SweepSpec::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_objectives_are_rejected_at_parse_and_validate() {
+        let mut spec = SweepSpec::default();
+        assert!(spec.apply("objective", "cvar:1.5").is_err());
+        assert!(spec.apply("objective", "median").is_err());
+        spec.objectives = vec![Objective::Quantile(0.0)];
+        assert!(spec.validate().is_err());
+        spec.objectives.clear();
+        assert!(spec.validate().unwrap_err().contains("objectives"));
+    }
+
+    #[test]
+    fn unknown_keys_get_a_did_you_mean_suggestion() {
+        let mut spec = SweepSpec::default();
+        let err = spec.apply("objektives", "mean").unwrap_err();
+        assert!(err.contains("unknown spec key 'objektives'"), "{err}");
+        assert!(err.contains("did you mean 'objectives'?"), "{err}");
+        assert!(err.contains("known keys:"), "{err}");
+        let err = spec.apply("completely_bogus_xyz", "1").unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn dist_fragments_are_separator_free() {
+        assert_eq!(WtpDist::Rating.id_fragment(), "rating");
+        assert_eq!(WtpDist::Pareto { alpha: 2.0 }.id_fragment(), "pareto2");
+        assert_eq!(WtpDist::LogNormal { sigma: 1.5 }.id_fragment(), "lognormal1.5");
+        assert_eq!(WtpDist::Pareto { alpha: 2.0 }.kind(), DistKind::Pareto);
+        assert!(WtpDist::Rating.tail_dist().is_none());
+        assert_eq!(
+            WtpDist::Pareto { alpha: 2.0 }.tail_dist(),
+            Some(TailDist::Pareto { alpha: 2.0 })
+        );
     }
 
     #[test]
