@@ -1,0 +1,147 @@
+//! Per-file context: which crate a path belongs to, whether it is test
+//! code, and which line ranges sit inside `#[cfg(test)]` modules. Scoped
+//! rules (lock-unwrap, float-sum, unordered-iter) only apply to
+//! non-test code of the determinism-bearing crates (`core`, `engine`,
+//! `serve`) — see `DESIGN.md` §14 for the scope matrix.
+
+/// Classification of one scanned file.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Display path (as walked), with `/` separators.
+    pub rel: String,
+    /// Crate name (`core`, `serve`, …) when derivable from the path.
+    pub crate_name: Option<String>,
+    /// Whole file is test/bench code (`tests/`, `benches/` directories).
+    pub tests_dir: bool,
+    /// File lives under an `examples/` directory (demo binaries).
+    pub example: bool,
+    /// 1-based inclusive line ranges covered by `#[cfg(test)]` modules.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl FileCtx {
+    pub fn classify(rel: &str, masked: &str) -> FileCtx {
+        let rel = rel.replace('\\', "/");
+        let comps: Vec<&str> = rel.split('/').filter(|c| !c.is_empty() && *c != ".").collect();
+        let mut crate_name = None;
+        // `crates/<name>/…` wins; else the component preceding `src`
+        // (fixture trees and `cargo run -p` both produce such layouts).
+        if let Some(k) = comps.iter().position(|&c| c == "crates") {
+            crate_name = comps.get(k + 1).map(|s| s.to_string());
+        } else if let Some(k) = comps.iter().position(|&c| c == "src") {
+            if k > 0 {
+                crate_name = Some(comps[k - 1].to_string());
+            }
+        }
+        let tests_dir = comps.iter().any(|&c| c == "tests" || c == "benches");
+        let example = comps.contains(&"examples");
+        FileCtx { rel, crate_name, tests_dir, example, test_spans: find_test_spans(masked) }
+    }
+
+    /// Is 1-based `line` test code?
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.tests_dir || self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// One of the determinism-bearing crates whose results must be
+    /// bit-identical across threads/kernels/caches (`DESIGN.md` §6)?
+    pub fn determinism_crate(&self) -> bool {
+        matches!(self.crate_name.as_deref(), Some("core" | "engine" | "serve"))
+    }
+
+    /// The measurement crate — wall-clock and env knobs are its job.
+    pub fn bench_crate(&self) -> bool {
+        self.crate_name.as_deref() == Some("bench")
+    }
+}
+
+/// Find `#[cfg(test)]` module spans by brace-matching the masked source.
+fn find_test_spans(masked: &str) -> Vec<(usize, usize)> {
+    let lines: Vec<&str> = masked.lines().collect();
+    // Byte offset of each line start, for brace matching across lines.
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < lines.len() {
+        if lines[i].trim_start().starts_with("#[cfg(test)]") {
+            // Skip further attributes, find the item line, then its `{`.
+            let mut j = i + 1;
+            while j < lines.len() && lines[j].trim_start().starts_with("#[") {
+                j += 1;
+            }
+            if let Some(end) = match_braces_from(&lines, j) {
+                spans.push((i + 1, end + 1)); // 1-based inclusive
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Starting at `lines[from]`, find the first `{` and return the 0-based
+/// line index of its matching `}` (or the last line if unbalanced).
+fn match_braces_from(lines: &[&str], from: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut opened = false;
+    for (k, line) in lines.iter().enumerate().skip(from) {
+        for b in line.bytes() {
+            match b {
+                b'{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // `mod tests;` (no body) — nothing to span.
+        if !opened && line.contains(';') {
+            return None;
+        }
+    }
+    if opened {
+        Some(lines.len().saturating_sub(1))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask_source;
+
+    #[test]
+    fn classifies_crate_and_test_dirs() {
+        let ctx = FileCtx::classify("crates/core/src/wsp.rs", "");
+        assert_eq!(ctx.crate_name.as_deref(), Some("core"));
+        assert!(ctx.determinism_crate());
+        assert!(!ctx.tests_dir);
+
+        let ctx = FileCtx::classify("crates/engine/tests/foo.rs", "");
+        assert!(ctx.tests_dir);
+
+        let ctx = FileCtx::classify("src/lib.rs", "");
+        assert_eq!(ctx.crate_name, None);
+
+        let ctx = FileCtx::classify("./crates/bench/src/bin/sweep.rs", "");
+        assert!(ctx.bench_crate());
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_the_module() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {\n    }\n}\nfn live2() {}\n";
+        let ctx = FileCtx::classify("crates/core/src/x.rs", &mask_source(src).masked);
+        assert_eq!(ctx.test_spans, vec![(2, 6)]);
+        assert!(!ctx.is_test_line(1));
+        assert!(ctx.is_test_line(4));
+        assert!(!ctx.is_test_line(7));
+    }
+}

@@ -1,0 +1,312 @@
+//! A small Rust source lexer whose only job is masking: everything inside
+//! comments, string/char literals, and raw strings is replaced by spaces
+//! (newlines preserved), so the rule engine can pattern-match token text
+//! without ever firing on prose. Comment *contents* are collected
+//! separately — waivers (`// audit: allow(<rule>) <reason>`) are parsed
+//! from genuine comments only, never from string literals that happen to
+//! contain the waiver syntax.
+//!
+//! The lexer is total: any byte sequence (valid UTF-8 or not — callers
+//! read files with [`String::from_utf8_lossy`]) produces a mask of the
+//! same length and line structure. Unterminated literals simply mask to
+//! the end of input. This is pinned by the `lexer_never_panics` proptest.
+
+/// One comment's text (without its `//` / `/*` delimiters), attached to
+/// the 1-based line it starts on. Multi-line block comments contribute
+/// one entry per line they cover, so a waiver inside a block comment
+/// still anchors to the right line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: usize,
+    pub text: String,
+}
+
+/// The masking result: `masked` is byte-for-byte the same length and line
+/// layout as the input, with comment/literal bytes blanked to `' '`.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    pub masked: String,
+    pub comments: Vec<Comment>,
+}
+
+/// Is `b` a byte that can continue an identifier?
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Mask `src` (see module docs). Never panics.
+pub fn mask_source(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut comments: Vec<Comment> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Blank out[a..b] keeping newlines; push comment text per line.
+    let blank = |out: &mut [u8], a: usize, b: usize| {
+        let end = b.min(out.len());
+        for x in &mut out[a..end] {
+            if *x != b'\n' {
+                *x = b' ';
+            }
+        }
+    };
+    let collect_comment =
+        |comments: &mut Vec<Comment>, bytes: &[u8], a: usize, b: usize, line0: usize| {
+            let parts = bytes[a..b.min(bytes.len())].split(|&x| x == b'\n');
+            for (ln, part) in (line0..).zip(parts) {
+                comments
+                    .push(Comment { line: ln, text: String::from_utf8_lossy(part).into_owned() });
+            }
+        };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                collect_comment(&mut comments, bytes, start + 2, i, line);
+                blank(&mut out, start, i);
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Block comments nest in Rust.
+                let start = i;
+                let line0 = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text_end = i.saturating_sub(2).max(start + 2);
+                collect_comment(&mut comments, bytes, start + 2, text_end, line0);
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i = (i + 2).min(bytes.len()),
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'r' | b'b' => {
+                // Raw strings r"…", r#"…"#, byte strings b"…", byte raw
+                // br#"…"#. A lone identifier containing these letters must
+                // fall through — only fire when the prefix is not preceded
+                // by an identifier byte and is directly followed by the
+                // quote/hash syntax.
+                let prev_ident = i > 0 && is_ident(bytes[i - 1]);
+                let mut j = i;
+                if bytes[j] == b'b'
+                    && j + 1 < bytes.len()
+                    && (bytes[j + 1] == b'r' || bytes[j + 1] == b'"' || bytes[j + 1] == b'\'')
+                {
+                    j += 1; // b" / br / b'
+                }
+                if !prev_ident && j < bytes.len() && bytes[j] == b'\'' {
+                    // Byte char literal b'x'.
+                    let start = i;
+                    i = j + 1;
+                    if i < bytes.len() && bytes[i] == b'\\' {
+                        i = (i + 2).min(bytes.len());
+                    } else {
+                        i = (i + 1).min(bytes.len());
+                    }
+                    while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(bytes.len());
+                    blank(&mut out, start, i);
+                    continue;
+                }
+                let raw = j < bytes.len() && bytes[j] == b'r';
+                if raw {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while raw && j < bytes.len() && bytes[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if !prev_ident && j < bytes.len() && bytes[j] == b'"' && (raw || bytes[i] == b'b') {
+                    let start = i;
+                    i = j + 1;
+                    if raw {
+                        // Scan for `"` followed by `hashes` hash marks.
+                        'raw: while i < bytes.len() {
+                            if bytes[i] == b'\n' {
+                                line += 1;
+                                i += 1;
+                                continue;
+                            }
+                            if bytes[i] == b'"' {
+                                let mut k = i + 1;
+                                let mut h = 0usize;
+                                while h < hashes && k < bytes.len() && bytes[k] == b'#' {
+                                    h += 1;
+                                    k += 1;
+                                }
+                                if h == hashes {
+                                    i = k;
+                                    break 'raw;
+                                }
+                            }
+                            i += 1;
+                        }
+                    } else {
+                        // b"…" with escapes.
+                        while i < bytes.len() {
+                            match bytes[i] {
+                                b'\\' => i = (i + 2).min(bytes.len()),
+                                b'"' => {
+                                    i += 1;
+                                    break;
+                                }
+                                b'\n' => {
+                                    line += 1;
+                                    i += 1;
+                                }
+                                _ => i += 1,
+                            }
+                        }
+                    }
+                    blank(&mut out, start, i);
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime/label. `'\…'` and `'x'` are
+                // literals; `'ident` (no closing quote right after one
+                // char) is a lifetime and stays unmasked.
+                let prev_ident = i > 0 && is_ident(bytes[i - 1]);
+                if prev_ident {
+                    // e.g. the `'` in `b'x'` already handled; an ident
+                    // followed by `'` can't start a char literal (it's a
+                    // lifetime bound position like `T: 'a`), except after
+                    // `(`/operators — be permissive and treat as lifetime.
+                    i += 1;
+                    continue;
+                }
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    let start = i;
+                    i += 2;
+                    i = (i + 1).min(bytes.len()); // the escaped byte
+                    while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(bytes.len());
+                    blank(&mut out, start, i);
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\'' {
+                    // 'x' — note multi-byte chars: the char may span more
+                    // bytes; handle ASCII fast path here, multi-byte below.
+                    blank(&mut out, i, i + 3);
+                    i += 3;
+                } else if i + 1 < bytes.len() && bytes[i + 1] >= 0x80 {
+                    // Possibly a multi-byte char literal 'é'. Scan to the
+                    // closing quote within a short window.
+                    let mut k = i + 1;
+                    while k < bytes.len() && k - i <= 5 && bytes[k] != b'\'' && bytes[k] != b'\n' {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k] == b'\'' {
+                        blank(&mut out, i, k + 1);
+                        i = k + 1;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    // Lifetime (`'a`), label (`'outer:`), or stray quote.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    let masked = String::from_utf8_lossy(&out).into_owned();
+    Lexed { masked, comments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments_and_collects_text() {
+        let src = "let a = 1; // audit: allow(x) reason\n/* block\nspans */ let b = 2;\n";
+        let lexed = mask_source(src);
+        assert!(!lexed.masked.contains("audit"));
+        assert!(!lexed.masked.contains("block"));
+        assert!(lexed.masked.contains("let a = 1;"));
+        assert!(lexed.masked.contains("let b = 2;"));
+        assert_eq!(lexed.masked.len(), src.len());
+        assert!(lexed.comments.iter().any(|c| c.line == 1 && c.text.contains("allow(x)")));
+        assert!(lexed.comments.iter().any(|c| c.line == 2 && c.text.contains("block")));
+    }
+
+    #[test]
+    fn masks_strings_chars_and_raw_strings() {
+        let src = r####"let s = "partial_cmp().unwrap()"; let r = r#"Instant::now "q" inside"#; let c = '"'; let b = b"env::var"; let e = '\n';"####;
+        let lexed = mask_source(src);
+        assert!(!lexed.masked.contains("partial_cmp"));
+        assert!(!lexed.masked.contains("Instant"));
+        assert!(!lexed.masked.contains("env::var"));
+        assert!(lexed.masked.contains("let s ="));
+        assert!(lexed.masked.contains("let e ="));
+        assert_eq!(lexed.masked.len(), src.len());
+    }
+
+    #[test]
+    fn lifetimes_survive_unmasked() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } 'outer: loop { break 'outer; }";
+        let lexed = mask_source(src);
+        assert_eq!(lexed.masked, src);
+    }
+
+    #[test]
+    fn nested_block_comments_mask_fully() {
+        let src = "a /* one /* two */ still comment */ b";
+        let lexed = mask_source(src);
+        assert!(lexed.masked.starts_with('a'));
+        assert!(lexed.masked.ends_with('b'));
+        assert!(!lexed.masked.contains("still"));
+    }
+
+    #[test]
+    fn unterminated_literals_mask_to_eof_without_panic() {
+        for src in ["let s = \"never closed", "/* never closed", "let c = '\\", "r#\"open"] {
+            let lexed = mask_source(src);
+            assert_eq!(lexed.masked.len(), src.len());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! revmax-audit: a zero-dependency determinism & safety lint pass over
+//! the revmax workspace. Every rule mechanizes a bug class this repo has
+//! actually shipped and fixed — NaN-panicking float comparators (PR 5),
+//! `-0.0` from `f64` `Iterator::sum` (PR 5), lock-poison propagation
+//! (PR 7), hash-order nondeterminism, wall-clock/env leaks into result
+//! paths, and cache-key fields missing from `fingerprint()` (PR 9). The
+//! rule catalog, scope matrix, and waiver policy live in `DESIGN.md` §14.
+//!
+//! Pipeline per file: [`lexer::mask_source`] blanks comments and
+//! string/char literals (so prose never trips a rule), [`context::FileCtx`]
+//! classifies the file (crate, `#[cfg(test)]` spans, tests/examples
+//! directories), [`rules::scan_file`] runs the textual rules, and the
+//! structural rules ([`structural::scan_structural`]) check cross-file
+//! invariants over the whole walked set. Inline waivers
+//! (`// audit: allow(<rule>) <reason>`) suppress individual findings;
+//! bare or stale waivers are themselves findings.
+
+pub mod context;
+pub mod lexer;
+pub mod rules;
+pub mod structural;
+pub mod walk;
+
+use std::path::Path;
+
+use context::FileCtx;
+pub use rules::{Finding, RULES};
+
+/// The result of one audit run.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// All findings (including waived ones), sorted by path/line/rule.
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    /// Findings that fail the run.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// Hand-rolled JSON export (the crate is zero-dep by design).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"files_scanned\": ");
+        s.push_str(&self.files_scanned.to_string());
+        s.push_str(",\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"waived\": {}}}",
+                json_str(&f.path),
+                f.line,
+                json_str(f.rule),
+                json_str(&f.message),
+                f.waived
+            ));
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Audit in-memory sources: `(display path, source text)` pairs. This is
+/// the core entry point — the CLI reads files and calls this; tests feed
+/// fixture tables directly.
+pub fn audit_sources(files: &[(String, String)], rule_filter: Option<&str>) -> AuditReport {
+    // Lex + classify once per file.
+    let mut lexed = Vec::with_capacity(files.len());
+    for (path, src) in files {
+        let lx = lexer::mask_source(src);
+        let ctx = FileCtx::classify(path, &lx.masked);
+        lexed.push((ctx, lx));
+    }
+
+    // Textual rules per file.
+    let mut per_file: Vec<Vec<Finding>> =
+        lexed.iter().map(|(ctx, lx)| rules::scan_file(ctx, &lx.masked)).collect();
+
+    // Structural rules over the whole set (masked text, display paths).
+    let masked_set: Vec<(String, String)> =
+        lexed.iter().map(|(ctx, lx)| (ctx.rel.clone(), lx.masked.clone())).collect();
+    for f in structural::scan_structural(&structural::Targets { files: &masked_set }) {
+        if let Some(k) = lexed.iter().position(|(ctx, _)| ctx.rel == f.path) {
+            per_file[k].push(f);
+        } else if let Some(first) = per_file.first_mut() {
+            first.push(f);
+        }
+    }
+
+    // Waivers per file, then flatten.
+    let mut findings = Vec::new();
+    for (k, (ctx, lx)) in lexed.iter().enumerate() {
+        let mut file_findings = std::mem::take(&mut per_file[k]);
+        let mut waivers = rules::parse_waivers(lx);
+        rules::apply_waivers(&ctx.rel, &mut file_findings, &mut waivers);
+        findings.extend(file_findings);
+    }
+
+    if let Some(rule) = rule_filter {
+        findings.retain(|f| f.rule == rule);
+    }
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    AuditReport { findings, files_scanned: files.len() }
+}
+
+/// Audit filesystem roots (directories are walked recursively, skipping
+/// `vendor/`, `target/`, and VCS directories).
+pub fn audit_paths(roots: &[&Path], rule_filter: Option<&str>) -> AuditReport {
+    let mut files = Vec::new();
+    for root in roots {
+        for path in walk::collect_rs_files(root) {
+            let Ok(bytes) = std::fs::read(&path) else { continue };
+            let src = String::from_utf8_lossy(&bytes).into_owned();
+            files.push((path.to_string_lossy().replace('\\', "/"), src));
+        }
+    }
+    files.sort();
+    files.dedup_by(|a, b| a.0 == b.0);
+    audit_sources(&files, rule_filter)
+}

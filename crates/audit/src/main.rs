@@ -1,0 +1,105 @@
+//! CLI for the revmax determinism & safety audit.
+//!
+//! ```text
+//! cargo run --release -p revmax-audit -- [paths...] [json=<path|->] [rule=<name>]
+//! ```
+//!
+//! * `paths` — files or directories to scan (default `.`); `vendor/`,
+//!   `target/` and VCS directories are skipped.
+//! * `rule=<name>` — restrict the report to one rule (see `--help` /
+//!   `DESIGN.md` §14 for the catalog).
+//! * `json=<path>` — additionally write the full report (including waived
+//!   findings) as JSON; `json=-` writes it to stdout.
+//!
+//! Exit codes: `0` clean, `1` at least one unwaived finding, `2` usage
+//! error. Waive an individual finding with a reasoned inline comment:
+//! `// audit: allow(<rule>) <reason>` — bare or stale waivers are
+//! findings themselves.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use revmax_audit::{audit_paths, RULES};
+
+fn main() -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut json: Option<String> = None;
+    let mut rule: Option<String> = None;
+
+    for arg in std::env::args().skip(1) {
+        if arg == "--help" || arg == "-h" {
+            print!("{}", help());
+            return ExitCode::SUCCESS;
+        }
+        if let Some(v) = arg.strip_prefix("json=") {
+            json = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("rule=") {
+            if !RULES.contains(&v) {
+                eprintln!("revmax-audit: unknown rule `{v}` (known: {})", RULES.join(", "));
+                return ExitCode::from(2);
+            }
+            rule = Some(v.to_string());
+        } else if arg.contains('=') {
+            eprintln!("revmax-audit: unknown option `{arg}` (expected paths, json=, rule=)");
+            return ExitCode::from(2);
+        } else {
+            paths.push(PathBuf::from(arg));
+        }
+    }
+    if paths.is_empty() {
+        paths.push(PathBuf::from("."));
+    }
+    for p in &paths {
+        if !p.exists() {
+            eprintln!("revmax-audit: no such path: {}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let roots: Vec<&std::path::Path> = paths.iter().map(|p| p.as_path()).collect();
+    let report = audit_paths(&roots, rule.as_deref());
+
+    if let Some(target) = &json {
+        let body = report.to_json();
+        if target == "-" {
+            print!("{body}");
+        } else if let Err(e) = std::fs::write(target, body) {
+            eprintln!("revmax-audit: cannot write {target}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut unwaived = 0usize;
+    let waived = report.findings.iter().filter(|f| f.waived).count();
+    for f in report.unwaived() {
+        println!("{}:{} {} {}", f.path, f.line, f.rule, f.message);
+        unwaived += 1;
+    }
+    eprintln!(
+        "revmax-audit: {} files, {} finding{} ({} waived)",
+        report.files_scanned,
+        unwaived,
+        if unwaived == 1 { "" } else { "s" },
+        waived
+    );
+    if unwaived > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn help() -> String {
+    format!(
+        "revmax-audit — determinism & safety lint for the revmax workspace\n\
+         \n\
+         usage: revmax-audit [paths...] [json=<path|->] [rule=<name>]\n\
+         \n\
+         rules: {}\n\
+         \n\
+         Findings print as `file:line rule message`; exit 1 on any unwaived\n\
+         finding. Waive with `// audit: allow(<rule>) <reason>` on the same\n\
+         line or the line above. See DESIGN.md §14 for the catalog.\n",
+        RULES.join(", ")
+    )
+}

@@ -1,0 +1,72 @@
+//! Deterministic workspace walker: collect `*.rs` files under the given
+//! roots in sorted order, skipping `target/`, `vendor/`, and VCS
+//! directories. Sorted traversal keeps audit output byte-stable across
+//! filesystems — the same determinism bar the rest of the workspace holds
+//! itself to.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github", "node_modules"];
+
+/// Collect every `.rs` file under `root` (or `root` itself if it is a
+/// file), sorted by path. I/O errors on individual entries are skipped —
+/// the audit reports on what it can read.
+pub fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    if root.is_file() {
+        if root.extension().is_some_and(|e| e == "rs") {
+            out.push(root.to_path_buf());
+        }
+        return out;
+    }
+    walk_dir(root, &mut out);
+    out.sort();
+    out
+}
+
+fn walk_dir(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk_dir(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_vendor_and_target_and_sorts() {
+        let dir = std::env::temp_dir().join(format!("revmax_audit_walk_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("src")).unwrap();
+        fs::create_dir_all(dir.join("vendor/x/src")).unwrap();
+        fs::create_dir_all(dir.join("target/debug")).unwrap();
+        fs::write(dir.join("src/b.rs"), "fn b() {}").unwrap();
+        fs::write(dir.join("src/a.rs"), "fn a() {}").unwrap();
+        fs::write(dir.join("vendor/x/src/lib.rs"), "fn v() {}").unwrap();
+        fs::write(dir.join("target/debug/gen.rs"), "fn t() {}").unwrap();
+        fs::write(dir.join("notes.txt"), "not rust").unwrap();
+
+        let files = collect_rs_files(&dir);
+        let names: Vec<String> = files
+            .iter()
+            .map(|p| p.strip_prefix(&dir).unwrap().to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert_eq!(names, vec!["src/a.rs", "src/b.rs"]);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

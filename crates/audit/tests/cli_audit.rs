@@ -1,0 +1,176 @@
+//! Behavioral tests running the real `revmax-audit` binary
+//! (`CARGO_BIN_EXE_revmax_audit`) on fixture trees — the same pattern as
+//! `crates/bench/tests/cli_reject.rs`. The key acceptance gate: for every
+//! satellite fix this PR shipped, a fixture tree containing the
+//! *reverted* form must make the audit exit 1, naming the rule; and the
+//! shipped tree itself (self-host and full workspace) must exit 0.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_revmax-audit")
+}
+
+fn run(args: &[&str], cwd: &Path) -> Output {
+    Command::new(bin()).args(args).current_dir(cwd).output().expect("spawn revmax-audit")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("audit must exit, not die on a signal")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Write a fixture tree under a unique temp dir; returns its root.
+fn tree(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("revmax_audit_{name}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    for (rel, content) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, content).unwrap();
+    }
+    root
+}
+
+/// The reverted form of each satellite fix, at its real repo path. Each
+/// entry must drive exit code 1 with the named rule in the report.
+fn reverted_fixtures() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        (
+            "float-partial-cmp",
+            "crates/core/src/wsp.rs",
+            "pub fn greedy_wsp(order: &mut Vec<u32>, rev: &[f64]) {\n    order.sort_by(|&a, &b| {\n        rev[b as usize].partial_cmp(&rev[a as usize]).unwrap().then(a.cmp(&b))\n    });\n}\n",
+        ),
+        (
+            "float-sum",
+            "crates/core/src/algorithms/freq_itemset.rs",
+            "pub fn components_revenue(singles: &[f64]) -> f64 {\n    singles.iter().sum::<f64>()\n}\n",
+        ),
+        (
+            "lock-unwrap",
+            "crates/serve/src/swap.rs",
+            "use std::sync::RwLock;\npub fn current(slot: &RwLock<u64>) -> u64 {\n    *slot.read().unwrap()\n}\n",
+        ),
+        (
+            "fingerprint-coverage",
+            "crates/core/src/params.rs",
+            "pub struct Params {\n    pub lambda: f64,\n    pub epsilon: f64,\n}\n\nimpl Params {\n    pub fn fingerprint(&self) -> u64 {\n        self.lambda.to_bits()\n    }\n}\n",
+        ),
+        (
+            "opcode-totality",
+            "crates/serve/src/proto.rs",
+            "pub const REQ_ASSIGN: u8 = 0x01;\npub const RESP_ASSIGN: u8 = 0x81;\npub fn encode_request() -> u8 {\n    REQ_ASSIGN\n}\npub fn decode_request(op: u8) -> u8 {\n    match op {\n        0x01 => 0,\n        _ => 1,\n    }\n}\npub fn encode_response() -> u8 {\n    RESP_ASSIGN\n}\npub fn decode_response(op: u8) -> u8 {\n    match op {\n        RESP_ASSIGN => 0,\n        _ => 1,\n    }\n}\n",
+        ),
+        (
+            "event-totality",
+            "crates/core/src/marketlog.rs",
+            "pub enum Event {\n    UpsertWtp,\n    AddUser,\n}\n\npub struct MarketLog {\n    n: u32,\n}\n\nimpl MarketLog {\n    pub fn fingerprint(&self) -> u64 {\n        self.n as u64\n    }\n    pub fn apply(&mut self, event: Event) {\n        match event {\n            Event::UpsertWtp => self.n += 1,\n            _ => {}\n        }\n    }\n}\n",
+        ),
+    ]
+}
+
+#[test]
+fn each_reverted_satellite_fix_fails_the_audit() {
+    for (rule, rel, src) in reverted_fixtures() {
+        let root = tree(&format!("revert_{rule}"), &[(rel, src)]);
+        let out = run(&["."], &root);
+        assert_eq!(code(&out), 1, "{rule}: expected exit 1, got {out:?}");
+        assert!(
+            stdout(&out).contains(rule),
+            "{rule}: report does not name the rule:\n{}",
+            stdout(&out)
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn self_host_and_full_workspace_are_clean() {
+    // CARGO_MANIFEST_DIR = crates/audit; the workspace root is two up.
+    let audit_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let ws_root = audit_dir.parent().unwrap().parent().unwrap().to_path_buf();
+
+    let out = run(&["."], &audit_dir);
+    assert_eq!(code(&out), 0, "audit does not self-host:\n{}", stdout(&out));
+
+    // Running under `cargo test` makes this the tier-1 gate: any unwaived
+    // finding anywhere in the workspace fails the build.
+    let out = run(&["."], &ws_root);
+    assert_eq!(code(&out), 0, "shipped tree is not audit-clean:\n{}", stdout(&out));
+}
+
+#[test]
+fn waivers_suppress_only_with_a_reason() {
+    let violation =
+        "pub fn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    let waived = "pub fn f(v: &mut [f64]) {\n    // audit: allow(float-partial-cmp) fixture exercises the waiver path end to end\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    let bare = "pub fn f(v: &mut [f64]) {\n    // audit: allow(float-partial-cmp)\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+
+    let root = tree("waiver_plain", &[("crates/core/src/x.rs", violation)]);
+    assert_eq!(code(&run(&["."], &root)), 1);
+    let _ = fs::remove_dir_all(&root);
+
+    let root = tree("waiver_ok", &[("crates/core/src/x.rs", waived)]);
+    let out = run(&["."], &root);
+    assert_eq!(code(&out), 0, "reasoned waiver must suppress:\n{}", stdout(&out));
+    let _ = fs::remove_dir_all(&root);
+
+    let root = tree("waiver_bare", &[("crates/core/src/x.rs", bare)]);
+    let out = run(&["."], &root);
+    assert_eq!(code(&out), 1, "bare waiver must not suppress");
+    assert!(stdout(&out).contains("no reason"), "{}", stdout(&out));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn vendor_and_target_are_skipped() {
+    let violation =
+        "pub fn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    let root = tree(
+        "skipdirs",
+        &[("vendor/dep/src/lib.rs", violation), ("target/debug/build/gen.rs", violation)],
+    );
+    let out = run(&["."], &root);
+    assert_eq!(code(&out), 0, "vendor/target must be skipped:\n{}", stdout(&out));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn rule_filter_and_json_output() {
+    let violation = "use std::time::Instant;\npub fn f(v: &mut [f64]) -> u64 {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    Instant::now().elapsed().as_nanos() as u64\n}\n";
+    let root = tree("filter", &[("crates/core/src/x.rs", violation)]);
+
+    // Both rules fire unfiltered.
+    let out = run(&["."], &root);
+    assert_eq!(code(&out), 1);
+    assert!(stdout(&out).contains("float-partial-cmp") && stdout(&out).contains("wall-clock"));
+
+    // rule= narrows the report (and the exit decision).
+    let out = run(&[".", "rule=wall-clock"], &root);
+    assert_eq!(code(&out), 1);
+    assert!(!stdout(&out).contains("float-partial-cmp"));
+    let out = run(&[".", "rule=float-sum"], &root);
+    assert_eq!(code(&out), 0, "no float-sum finding here:\n{}", stdout(&out));
+
+    // json=- dumps the machine-readable report to stdout.
+    let out = run(&[".", "json=-"], &root);
+    assert_eq!(code(&out), 1);
+    let js = stdout(&out);
+    assert!(js.contains("\"findings\"") && js.contains("\"float-partial-cmp\""), "{js}");
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let root = tree("usage", &[("crates/core/src/x.rs", "pub fn f() {}\n")]);
+    assert_eq!(code(&run(&[".", "rule=not-a-rule"], &root)), 2);
+    assert_eq!(code(&run(&[".", "frobnicate=1"], &root)), 2);
+    assert_eq!(code(&run(&["./no/such/path"], &root)), 2);
+    let _ = fs::remove_dir_all(&root);
+}

@@ -1,0 +1,70 @@
+//! Totality of the masking lexer, pinned by property tests: the scanner
+//! must survive arbitrary byte soup (the CLI reads files with
+//! `from_utf8_lossy`, so any disk content reaches it), preserve the
+//! byte length and line structure of valid input, and never leak a rule
+//! pattern out of a comment or literal into the masked text.
+
+use proptest::prelude::*;
+use revmax_audit::audit_sources;
+use revmax_audit::lexer::mask_source;
+
+/// Bytes that exercise the lexer's states far more often than uniform
+/// noise would: quotes, slashes, hashes, escapes, newlines, letters.
+fn arb_soup() -> impl Strategy<Value = Vec<u8>> {
+    let byte = (0u32..16, 0u8..=255).prop_map(|(sel, raw)| match sel {
+        0 => b'"',
+        1 => b'\'',
+        2 => b'/',
+        3 => b'*',
+        4 => b'\\',
+        5 => b'#',
+        6 => b'r',
+        7 => b'b',
+        8 => b'\n',
+        9 => b'a',
+        _ => raw,
+    });
+    proptest::collection::vec(byte, 0..200)
+}
+
+proptest! {
+    #[test]
+    fn lexer_never_panics_and_preserves_shape(soup in arb_soup()) {
+        let src = String::from_utf8_lossy(&soup).into_owned();
+        let lexed = mask_source(&src);
+        prop_assert_eq!(lexed.masked.len(), src.len());
+        prop_assert_eq!(
+            lexed.masked.bytes().filter(|&b| b == b'\n').count(),
+            src.bytes().filter(|&b| b == b'\n').count()
+        );
+        // The whole pipeline must be total too, not just the lexer.
+        let report = audit_sources(&[("crates/core/src/soup.rs".to_string(), src)], None);
+        prop_assert!(report.files_scanned == 1);
+    }
+
+    #[test]
+    fn patterns_wrapped_in_literals_or_comments_never_fire(wrap in 0usize..6) {
+        // Every textual-rule trigger, embedded in each masking context:
+        // the audit must report nothing.
+        let triggers = [
+            "x.partial_cmp(&y).unwrap()",
+            "v.iter().sum::<f64>()",
+            "m.lock().unwrap()",
+            "Instant::now()",
+            "env::var",
+        ];
+        for t in triggers {
+            let body = match wrap {
+                0 => format!("// {t}\npub fn f() {{}}\n"),
+                1 => format!("/* {t} */\npub fn f() {{}}\n"),
+                2 => format!("pub fn f() -> &'static str {{\n    \"{t}\"\n}}\n"),
+                3 => format!("pub fn f() -> &'static str {{\n    r#\"{t}\"#\n}}\n"),
+                4 => format!("pub fn f() -> &'static [u8] {{\n    b\"{t}\"\n}}\n"),
+                _ => format!("/* outer /* {t} */ still masked */\npub fn f() {{}}\n"),
+            };
+            let report =
+                audit_sources(&[("crates/core/src/fix.rs".to_string(), body)], None);
+            prop_assert_eq!(report.unwaived().count(), 0, "{} in wrap {}", t, wrap);
+        }
+    }
+}

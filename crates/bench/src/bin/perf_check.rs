@@ -181,7 +181,7 @@ fn main() {
     // bias the gate lenient exactly when half the ids regressed).
     let median = {
         let mut sorted: Vec<f64> = rows.iter().map(|r| r.3).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let n = sorted.len();
         if n % 2 == 1 {
             sorted[n / 2]

@@ -57,13 +57,13 @@ impl FreqItemsetConfigurator {
     }
 
     fn run_pure(&self, market: &Market) -> Outcome {
-        let start = Instant::now();
+        let start = Instant::now(); // audit: allow(wall-clock) trace timings are reported stats, never a result input
         let mut scratch = market.scratch();
         let mut trace = IterationTrace::new();
         // Component prices/revenues.
         let singles: Vec<crate::pricing::PricedOutcome> =
             (0..market.n_items() as u32).map(|i| market.price_pure(&[i], &mut scratch)).collect();
-        let components_revenue: f64 = singles.iter().map(|p| p.revenue).sum();
+        let components_revenue = singles.iter().map(|p| p.revenue).fold(0.0, |a, x| a + x);
 
         // Score candidates by absolute gain over their components.
         let mut scored: Vec<(Bundle, f64, f64)> = self
@@ -71,12 +71,13 @@ impl FreqItemsetConfigurator {
             .into_iter()
             .filter_map(|b| {
                 let priced = market.price_pure(b.items(), &mut scratch);
-                let comp: f64 = b.items().iter().map(|&i| singles[i as usize].revenue).sum();
+                let comp =
+                    b.items().iter().map(|&i| singles[i as usize].revenue).fold(0.0, |a, x| a + x);
                 let gain = priced.revenue - comp;
                 (gain > 0.0).then_some((b, priced.price, gain))
             })
             .collect();
-        scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
 
         // Greedy non-overlapping selection.
         let mut used = vec![false; market.n_items()];
@@ -108,14 +109,15 @@ impl FreqItemsetConfigurator {
     }
 
     fn run_mixed(&self, market: &Market) -> Outcome {
-        let start = Instant::now();
+        let start = Instant::now(); // audit: allow(wall-clock) trace timings are reported stats, never a result input
         let mut scratch = market.scratch();
         let mut trace = IterationTrace::new();
         // Components first (the incremental policy).
         let mut components: Vec<Option<mixed::TopOffer>> = (0..market.n_items() as u32)
             .map(|i| Some(mixed::init_component(market, i, &mut scratch)))
             .collect();
-        let components_revenue: f64 = components.iter().map(|c| c.as_ref().unwrap().revenue).sum();
+        let components_revenue =
+            components.iter().map(|c| c.as_ref().unwrap().revenue).fold(0.0, |a, x| a + x);
 
         // Score candidates by incremental revenue of the bundle offer.
         let mut scored: Vec<(Bundle, f64, f64)> = Vec::new();
@@ -126,7 +128,7 @@ impl FreqItemsetConfigurator {
                 scored.push((b, plan.price, plan.gain));
             }
         }
-        scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
 
         let mut used = vec![false; market.n_items()];
         let mut roots: Vec<OfferNode> = Vec::new();

@@ -64,11 +64,11 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on gain; deterministic tie-break on indices.
-        self.gain
-            .partial_cmp(&other.gain)
-            .expect("gains are never NaN")
-            .then_with(|| (other.i, other.j).cmp(&(self.i, self.j)))
+        // Max-heap on gain; deterministic tie-break on indices. total_cmp
+        // keeps the heap total even if a NaN gain ever slips in (a NaN
+        // sorts above +inf here, surfacing the bad quote immediately
+        // instead of panicking mid-solve).
+        self.gain.total_cmp(&other.gain).then_with(|| (other.i, other.j).cmp(&(self.i, self.j)))
     }
 }
 
@@ -130,7 +130,7 @@ impl GreedyConfigurator {
     }
 
     fn run_generic<S: SearchOffer>(&self, market: &Market, name: &'static str) -> Outcome {
-        let start = Instant::now();
+        let start = Instant::now(); // audit: allow(wall-clock) trace timings are reported stats, never a result input
         let mut scratch = market.scratch();
         let n = market.n_items();
         let mut trace = IterationTrace::new();
@@ -139,8 +139,10 @@ impl GreedyConfigurator {
             offers: (0..n as u32).map(|i| Some(S::init(market, i, &mut scratch))).collect(),
             versions: vec![0; n],
         };
-        let mut revenue: f64 =
-            pool.alive().map(|i| pool.offers[i].as_ref().unwrap().revenue()).sum();
+        let mut revenue = pool
+            .alive()
+            .map(|i| pool.offers[i].as_ref().unwrap().revenue())
+            .fold(0.0, |a, x| a + x);
         let components_revenue = revenue;
         let allow_nonpositive = self.opts.merge_to_single;
 
@@ -296,6 +298,28 @@ mod tests {
     use super::*;
     use crate::algorithms::test_support::{complementary, substitutes, table1, table1_theta_zero};
     use crate::algorithms::Components;
+
+    #[test]
+    fn heap_ordering_is_total_even_with_nan_gains() {
+        // Regression (PR 5 class): `HeapEntry::cmp` used
+        // `partial_cmp(..).expect("gains are never NaN")` — one NaN quote
+        // panicked the heap. total_cmp makes the order total: a NaN sorts
+        // above +inf (surfacing the bad quote first) instead of aborting.
+        let e = |gain: f64, i: usize, j: usize| HeapEntry { gain, price: 0.0, i, j, vi: 0, vj: 0 };
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(e(1.0, 0, 1));
+        heap.push(e(f64::NAN, 0, 2));
+        heap.push(e(f64::INFINITY, 1, 2));
+        assert!(heap.pop().unwrap().gain.is_nan());
+        assert_eq!(heap.pop().unwrap().gain, f64::INFINITY);
+        assert_eq!(heap.pop().unwrap().gain, 1.0);
+        // Finite ties still break on indices, low pair first.
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(e(2.0, 3, 4));
+        heap.push(e(2.0, 0, 1));
+        let top = heap.pop().unwrap();
+        assert_eq!((top.i, top.j), (0, 1));
+    }
 
     #[test]
     fn pure_greedy_on_table1() {

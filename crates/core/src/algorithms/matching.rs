@@ -57,7 +57,7 @@ pub struct MatchingConfigurator {
 
 impl MatchingConfigurator {
     fn run_generic<S: SearchOffer>(&self, market: &Market, name: &'static str) -> Outcome {
-        let start = Instant::now();
+        let start = Instant::now(); // audit: allow(wall-clock) trace timings are reported stats, never a result input
         let mut scratch = market.scratch();
         let n = market.n_items();
         let mut trace = IterationTrace::new();
@@ -65,7 +65,8 @@ impl MatchingConfigurator {
         // Offer pool; `None` = consumed by a merge.
         let mut offers: Vec<Option<S>> =
             (0..n as u32).map(|i| Some(S::init(market, i, &mut scratch))).collect();
-        let mut revenue: f64 = offers.iter().map(|o| o.as_ref().unwrap().revenue()).sum();
+        let mut revenue =
+            offers.iter().map(|o| o.as_ref().unwrap().revenue()).fold(0.0, |a, x| a + x);
         let components_revenue = revenue;
 
         // Vertices formed in the previous iteration (all, initially).

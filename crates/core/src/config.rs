@@ -301,7 +301,7 @@ impl BundleConfig {
                 self.roots
                     .iter()
                     .map(|r| crate::policy::evaluate_tree(market, r, &mut scratch, policy))
-                    .sum()
+                    .fold(0.0, |a, x| a + x)
             }
         }
     }

@@ -235,6 +235,7 @@ impl Market {
                 }
             }
         }
+        // audit: allow(unordered-iter) hash order is erased by the sort_unstable below
         let mut out: Vec<(u32, u32)> = seen.into_iter().collect();
         out.sort_unstable();
         out

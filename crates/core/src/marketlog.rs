@@ -65,6 +65,7 @@ pub struct MarketLog {
     /// overlay) — [`MarketLog::new`] compacts anything else.
     base: Market,
     /// Full event history since construction (kept across compaction).
+    // audit: allow(fingerprint-coverage) history is not state: equivalent histories must share one fingerprint (module docs)
     events: Vec<Event>,
     /// Canonical net per-cell overrides vs the base arena:
     /// `Some(w)` = upsert, `None` = delete. An override equal to the base

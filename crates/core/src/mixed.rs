@@ -181,7 +181,7 @@ pub fn price_merge_many(
     assert!(parts.len() >= 2, "a merge needs at least two sub-offers");
     let merged = union_of(parts);
     let lo = parts.iter().map(|p| p.node.price).fold(0.0f64, f64::max);
-    let hi = parts.iter().map(|p| p.node.price).sum::<f64>();
+    let hi = parts.iter().map(|p| p.node.price).fold(0.0, |a, x| a + x);
     if hi <= lo {
         return None; // degenerate (a zero-priced side): no feasible price
     }

@@ -80,6 +80,7 @@ pub struct Params {
     pub objective: Objective,
     /// Worker threads for the parallel hot paths (default: auto — the
     /// `REVMAX_THREADS` env var, else the machine's available parallelism).
+    // audit: allow(fingerprint-coverage) results are thread-count invariant (§6), so threads must NOT split the cache
     pub threads: Threads,
 }
 

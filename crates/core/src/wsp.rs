@@ -46,7 +46,7 @@ pub struct SubsetRevenues {
 pub fn enumerate_subset_revenues(market: &Market) -> SubsetRevenues {
     let n = market.n_items();
     assert!(n <= 26, "subset enumeration limited to 26 items, got {n}");
-    let start = Instant::now();
+    let start = Instant::now(); // audit: allow(wall-clock) enumeration_time is reported timing, never a result input
     let full = 1usize << n;
 
     // Consumers with any interest in these items, with dense re-indexing
@@ -171,13 +171,13 @@ pub fn enumerate_subset_revenues(market: &Market) -> SubsetRevenues {
             &mut price,
             pb,
         );
-        let mut guard = tables.lock().expect("table lock poisoned");
+        let mut guard = tables.lock().unwrap_or_else(|p| p.into_inner());
         for (k, (r, q)) in revenue.into_iter().zip(price).enumerate() {
             guard.0[p | (k << pb)] = r;
             guard.1[p | (k << pb)] = q;
         }
     });
-    let (revenue, price) = tables.into_inner().expect("table lock poisoned");
+    let (revenue, price) = tables.into_inner().unwrap_or_else(|p| p.into_inner());
 
     SubsetRevenues { n_items: n, revenue, price, enumeration_time: start.elapsed() }
 }
@@ -209,7 +209,8 @@ fn outcome_from_masks(
             revenue += table.revenue[m as usize];
         }
     }
-    let components_revenue: f64 = (0..table.n_items).map(|i| table.revenue[1usize << i]).sum();
+    let components_revenue =
+        (0..table.n_items).map(|i| table.revenue[1usize << i]).fold(0.0, |a, x| a + x);
     let mut trace = IterationTrace::new();
     trace.push(revenue, solve_time, roots.len());
     let config = BundleConfig { strategy: Strategy::Pure, roots };
@@ -223,7 +224,7 @@ fn outcome_from_masks(
 /// `Optimal`: exact pure-bundling configuration via the subset DP over the
 /// enumerated revenue table (the role Gurobi plays in the paper).
 pub fn optimal(market: &Market, table: &SubsetRevenues) -> Outcome {
-    let start = Instant::now();
+    let start = Instant::now(); // audit: allow(wall-clock) solve_time is reported timing, never a result input
     let dp = revmax_ilp::subset_dp::solve_all_subsets(table.n_items, &table.revenue);
     outcome_from_masks("Optimal", market, table, &dp.chosen, start.elapsed())
 }
@@ -233,7 +234,7 @@ pub fn optimal(market: &Market, table: &SubsetRevenues) -> Outcome {
 /// guarantee — see `revmax_ilp::greedy` for why "average weight per item"
 /// does not).
 pub fn greedy_wsp(market: &Market, table: &SubsetRevenues) -> Outcome {
-    let start = Instant::now();
+    let start = Instant::now(); // audit: allow(wall-clock) solve_time is reported timing, never a result input
     let n = table.n_items;
     // Sort subset ids by score descending. (Materializing 2^N ids is the
     // dominant memory cost; fine for N ≤ 26.)
@@ -241,7 +242,7 @@ pub fn greedy_wsp(market: &Market, table: &SubsetRevenues) -> Outcome {
     order.sort_by(|&a, &b| {
         let da = table.revenue[a as usize] / (a.count_ones() as f64).sqrt();
         let db = table.revenue[b as usize] / (b.count_ones() as f64).sqrt();
-        db.partial_cmp(&da).unwrap().then(a.cmp(&b))
+        db.total_cmp(&da).then(a.cmp(&b))
     });
     let mut covered = 0u32;
     let mut chosen = Vec::new();
@@ -312,6 +313,33 @@ mod tests {
         gw.config.validate(3);
         // √N bound for the greedy.
         assert!(gw.revenue + 1e-9 >= opt.revenue / 3f64.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "revenue must be non-negative")]
+    fn nan_table_entry_dies_at_the_metrics_guard_not_in_the_sort() {
+        // Regression (PR 5 class, mechanized by the audit's
+        // float-partial-cmp rule): the score sort used
+        // `partial_cmp(..).unwrap()`, so one NaN revenue entry aborted
+        // inside std's sort with an unrelated `Option::unwrap` message.
+        // total_cmp keeps the sort total; the NaN now flows to the
+        // explicit invariant guard in `metrics::revenue_coverage`, which
+        // names the actual problem.
+        let m = market();
+        let mut t = enumerate_subset_revenues(&m);
+        t.revenue[0b101] = f64::NAN;
+        let _ = greedy_wsp(&m, &t);
+    }
+
+    #[test]
+    fn greedy_wsp_is_bitwise_deterministic_after_total_cmp() {
+        // The comparator change must preserve the finite-input ordering.
+        let m = market();
+        let t = enumerate_subset_revenues(&m);
+        let a = greedy_wsp(&m, &t);
+        let b = greedy_wsp(&m, &t);
+        assert_eq!(a.revenue.to_bits(), b.revenue.to_bits());
+        assert!(a.revenue > 0.0);
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl WeightedSampler {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().unwrap();
         let x: f64 = rng.random_range(0.0..total);
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&x)) {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i,
         }

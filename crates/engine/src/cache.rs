@@ -132,8 +132,9 @@ impl OutcomeCache {
     /// latest resolve) — bounds memory across long churn histories where
     /// stale fingerprints can never hit again.
     pub fn retain_keys(&mut self, keep: &[u64]) {
-        let keep: std::collections::HashSet<u64> = keep.iter().copied().collect();
-        self.map.retain(|k, _| keep.contains(k));
+        let keep_set: std::collections::HashSet<u64> = keep.iter().copied().collect();
+        // audit: allow(unordered-iter) pure membership predicate — visit order is unobservable
+        self.map.retain(|k, _| keep_set.contains(k));
     }
 }
 

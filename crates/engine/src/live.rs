@@ -167,8 +167,9 @@ impl LiveEngine {
     /// did not use (stale fingerprints from superseded churn states).
     pub fn prune(&mut self) {
         self.cache.retain_keys(&self.prev_keys);
-        let keep: std::collections::HashSet<u64> = self.prev_fps.iter().copied().collect();
-        self.kupfer_memo.retain(|fp, _| keep.contains(fp));
+        let keep_set: std::collections::HashSet<u64> = self.prev_fps.iter().copied().collect();
+        // audit: allow(unordered-iter) pure membership predicate — visit order is unobservable
+        self.kupfer_memo.retain(|fp, _| keep_set.contains(fp));
     }
 
     /// Solve every cell of `market` (whole market plus activity cohorts,

@@ -52,7 +52,7 @@ pub fn solve(inst: &SetPacking) -> Packing {
     cands.sort_by(|a, b| {
         let da = a.1 / a.0.count_ones() as f64;
         let db = b.1 / b.0.count_ones() as f64;
-        db.partial_cmp(&da).unwrap().then(a.0.count_ones().cmp(&b.0.count_ones()))
+        db.total_cmp(&da).then(a.0.count_ones().cmp(&b.0.count_ones()))
     });
 
     let mut best = Packing::empty();
@@ -145,6 +145,16 @@ mod tests {
         let p = solve(&sp);
         assert_eq!(p.total_weight, 0.0);
         assert!(p.chosen.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be finite")]
+    fn nan_weight_is_rejected_at_the_instance_boundary() {
+        // PR 5 class, two layers deep: `add_set` rejects non-finite
+        // weights with a named guard, and the density sort itself is total
+        // (total_cmp) so even a NaN that bypassed the guard could no
+        // longer abort inside std's sort machinery.
+        inst(2, &[(&[0], f64::NAN)]);
     }
 
     #[test]

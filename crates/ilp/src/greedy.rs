@@ -42,9 +42,8 @@ pub fn solve_with_rule(inst: &SetPacking, rule: Rule) -> Packing {
     let mut order: Vec<usize> = (0..inst.n_sets()).collect();
     order.sort_by(|&a, &b| {
         score(b)
-            .partial_cmp(&score(a))
-            .unwrap()
-            .then(inst.sets()[b].1.partial_cmp(&inst.sets()[a].1).unwrap())
+            .total_cmp(&score(a))
+            .then(inst.sets()[b].1.total_cmp(&inst.sets()[a].1))
             .then(a.cmp(&b))
     });
     let mut covered = 0u64;
@@ -81,6 +80,29 @@ mod tests {
     fn empty() {
         let p = solve(&SetPacking::new(4));
         assert_eq!(p.total_weight, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be finite")]
+    fn nan_weight_is_rejected_at_the_instance_boundary() {
+        // PR 5 class, two layers deep: `add_set` rejects non-finite
+        // weights with a named guard, and the score sort itself is total
+        // (total_cmp) so even a NaN that bypassed the guard could no
+        // longer abort inside std's sort machinery.
+        inst(3, &[(&[0], f64::NAN)]);
+    }
+
+    #[test]
+    fn greedy_packing_is_deterministic_after_total_cmp() {
+        // The comparator change must preserve the finite-input ordering,
+        // including the weight tie-break between equal-score sets.
+        let sp = inst(4, &[(&[0], 4.0), (&[1], 4.0), (&[2, 3], 4.0)]);
+        for rule in [Rule::SqrtSize, Rule::PerItem] {
+            let a = solve_with_rule(&sp, rule);
+            let b = solve_with_rule(&sp, rule);
+            assert_eq!(a.chosen, b.chosen, "{rule:?}");
+            assert_eq!(a.chosen, vec![0, 1, 2], "{rule:?}");
+        }
     }
 
     #[test]

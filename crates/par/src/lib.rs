@@ -55,6 +55,7 @@ impl Threads {
         match self {
             Threads::Fixed(n) => n.max(1),
             Threads::Auto => {
+                // audit: allow(env-read) REVMAX_THREADS is the one sanctioned knob; results are thread-count invariant (DESIGN.md §6)
                 if let Some(n) = std::env::var(THREADS_ENV_VAR)
                     .ok()
                     .and_then(|s| s.trim().parse::<usize>().ok())

@@ -528,6 +528,7 @@ fn handle_query(
         UserSel::All => None,
         UserSel::Ids(ids) => Some(ids),
     };
+    // audit: allow(wall-clock) queue-latency histogram timestamp; responses never read it
     let job = Job { kind, ids, marginal, reply: tx, enqueued: Instant::now() };
     if shared.queue.try_push(job).is_err() {
         shared.counters.shed.fetch_add(1, Ordering::Relaxed);

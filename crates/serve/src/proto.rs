@@ -30,6 +30,27 @@ use std::io::{self, Read, Write};
 /// 4M-user id batch, far below anything that could exhaust the host).
 pub const MAX_FRAME: usize = 16 << 20;
 
+// Wire opcodes. Requests live below 0x80, responses at or above it, and
+// every `REQ_<NAME>` has its `RESP_<NAME>` counterpart (`RESP_ERROR` is
+// the unpaired extra: any request can fail). The audit's `opcode-totality`
+// rule parses these tables and fails the build if a new opcode ships
+// half-wired — missing from a codec arm, unpaired, or on the wrong side
+// of 0x80. The decode test-vectors below intentionally keep raw bytes, so
+// the on-wire values stay pinned independently of these names.
+pub const REQ_ASSIGN: u8 = 0x01;
+pub const REQ_REVENUE: u8 = 0x02;
+pub const REQ_MUTATE: u8 = 0x03;
+pub const REQ_STATS: u8 = 0x04;
+pub const REQ_SHUTDOWN: u8 = 0x05;
+pub const REQ_MARGINAL: u8 = 0x06;
+pub const RESP_ASSIGN: u8 = 0x81;
+pub const RESP_REVENUE: u8 = 0x82;
+pub const RESP_MUTATE: u8 = 0x83;
+pub const RESP_STATS: u8 = 0x84;
+pub const RESP_ERROR: u8 = 0x85;
+pub const RESP_SHUTDOWN: u8 = 0x86;
+pub const RESP_MARGINAL: u8 = 0x87;
+
 /// A frame that failed to decode. Carries a human-readable reason; the
 /// daemon echoes it inside a [`Response::Error`] with
 /// [`ErrorCode::Malformed`].
@@ -443,24 +464,24 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut e = Enc(Vec::new());
     match req {
         Request::Assign(sel) => {
-            e.u8(0x01);
+            e.u8(REQ_ASSIGN);
             e.user_sel(sel);
         }
         Request::ExpectedRevenue(sel) => {
-            e.u8(0x02);
+            e.u8(REQ_REVENUE);
             e.user_sel(sel);
         }
         Request::MutateMarket(events) => {
-            e.u8(0x03);
+            e.u8(REQ_MUTATE);
             e.u32(events.len() as u32);
             for ev in events {
                 encode_event(&mut e, ev);
             }
         }
-        Request::SwapStats => e.u8(0x04),
-        Request::Shutdown => e.u8(0x05),
+        Request::SwapStats => e.u8(REQ_STATS),
+        Request::Shutdown => e.u8(REQ_SHUTDOWN),
         Request::MarginalRevenue { offer, dprice, sel } => {
-            e.u8(0x06);
+            e.u8(REQ_MARGINAL);
             e.u32(*offer);
             e.f64(*dprice);
             e.user_sel(sel);
@@ -474,16 +495,18 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
     let mut d = Dec::new(payload);
     let req = match d.u8().map_err(|_| ProtoError("empty payload".into()))? {
-        0x01 => Request::Assign(d.user_sel()?),
-        0x02 => Request::ExpectedRevenue(d.user_sel()?),
-        0x03 => {
+        REQ_ASSIGN => Request::Assign(d.user_sel()?),
+        REQ_REVENUE => Request::ExpectedRevenue(d.user_sel()?),
+        REQ_MUTATE => {
             let n = d.count(1, "event")?;
             let events = (0..n).map(|_| decode_event(&mut d)).collect::<Result<Vec<_>, _>>()?;
             Request::MutateMarket(events)
         }
-        0x04 => Request::SwapStats,
-        0x05 => Request::Shutdown,
-        0x06 => Request::MarginalRevenue { offer: d.u32()?, dprice: d.f64()?, sel: d.user_sel()? },
+        REQ_STATS => Request::SwapStats,
+        REQ_SHUTDOWN => Request::Shutdown,
+        REQ_MARGINAL => {
+            Request::MarginalRevenue { offer: d.u32()?, dprice: d.f64()?, sel: d.user_sel()? }
+        }
         other => return err(format!("unknown request opcode {other:#04x}")),
     };
     d.finish()?;
@@ -495,7 +518,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut e = Enc(Vec::new());
     match resp {
         Response::Assignments(assignments) => {
-            e.u8(0x81);
+            e.u8(RESP_ASSIGN);
             e.u32(assignments.len() as u32);
             for a in assignments {
                 e.u32(a.user);
@@ -504,34 +527,34 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             }
         }
         Response::Revenue(r) => {
-            e.u8(0x82);
+            e.u8(RESP_REVENUE);
             e.f64(*r);
         }
         Response::Marginal(m) => {
-            e.u8(0x87);
+            e.u8(RESP_MARGINAL);
             e.f64(m.base);
             e.f64(m.perturbed);
             e.f64(m.delta);
         }
         Response::MutateAck { accepted, generation } => {
-            e.u8(0x83);
+            e.u8(RESP_MUTATE);
             e.u64(*accepted);
             e.u64(*generation);
         }
         Response::Stats(stats) => {
-            e.u8(0x84);
+            e.u8(RESP_STATS);
             for v in stats.fields() {
                 e.u64(v);
             }
         }
         Response::Error { code, message } => {
-            e.u8(0x85);
+            e.u8(RESP_ERROR);
             e.u16(*code as u16);
             let bytes = message.as_bytes();
             e.u32(bytes.len() as u32);
             e.0.extend_from_slice(bytes);
         }
-        Response::Bye => e.u8(0x86),
+        Response::Bye => e.u8(RESP_SHUTDOWN),
     }
     e.0
 }
@@ -540,7 +563,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
 pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
     let mut d = Dec::new(payload);
     let resp = match d.u8().map_err(|_| ProtoError("empty payload".into()))? {
-        0x81 => {
+        RESP_ASSIGN => {
             // Each assignment is ≥ 16 bytes (user + payment + offer count).
             let n = d.count(16, "assignment")?;
             let assignments = (0..n)
@@ -548,28 +571,28 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
                 .collect::<Result<Vec<_>, ProtoError>>()?;
             Response::Assignments(assignments)
         }
-        0x82 => Response::Revenue(d.f64()?),
-        0x87 => Response::Marginal(MarginalRevenue {
+        RESP_REVENUE => Response::Revenue(d.f64()?),
+        RESP_MARGINAL => Response::Marginal(MarginalRevenue {
             base: d.f64()?,
             perturbed: d.f64()?,
             delta: d.f64()?,
         }),
-        0x83 => Response::MutateAck { accepted: d.u64()?, generation: d.u64()? },
-        0x84 => {
+        RESP_MUTATE => Response::MutateAck { accepted: d.u64()?, generation: d.u64()? },
+        RESP_STATS => {
             let mut f = [0u64; 17];
             for slot in &mut f {
                 *slot = d.u64()?;
             }
             Response::Stats(DaemonStats::from_fields(f))
         }
-        0x85 => {
+        RESP_ERROR => {
             let code = ErrorCode::from_u16(d.u16()?)?;
             let n = d.count(1, "message byte")?;
             let message = String::from_utf8(d.bytes(n)?.to_vec())
                 .map_err(|_| ProtoError("error message is not UTF-8".into()))?;
             Response::Error { code, message }
         }
-        0x86 => Response::Bye,
+        RESP_SHUTDOWN => Response::Bye,
         other => return err(format!("unknown response opcode {other:#04x}")),
     };
     d.finish()?;
